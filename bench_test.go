@@ -1,0 +1,124 @@
+// Package repro's root benchmark harness: one benchmark per table and
+// figure of the paper, each driving the same experiment code path as
+// cmd/energysim but with a reduced replication count so the suite
+// completes in minutes. Reported ns/op is the cost of regenerating the
+// entire artifact at that replication level; run cmd/energysim -reps 100
+// for paper-fidelity outputs.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/opt"
+)
+
+// benchConfig is the reduced-replication configuration used by the
+// per-figure benchmarks.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Replications: 2,
+		Seed:         20140901,
+		Workers:      0,
+		Opt:          opt.Options{MaxIterations: 800, RelGap: 1e-4},
+	}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Run(id, cfg)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+		if len(res.Points) == 0 {
+			b.Fatalf("%s produced no points", id)
+		}
+	}
+}
+
+// BenchmarkFig1YDS regenerates the introductory YDS example (Fig. 1 /
+// Fig. 2a).
+func BenchmarkFig1YDS(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkFig2Optimal regenerates the motivational example's optimal
+// schedule (Fig. 2b, Section II KKT).
+func BenchmarkFig2Optimal(b *testing.B) { benchExperiment(b, "fig2b") }
+
+// BenchmarkFig3Truncation regenerates the static-power truncation example
+// (Fig. 3).
+func BenchmarkFig3Truncation(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig45Example regenerates the Section V.D worked example
+// (Fig. 4/5).
+func BenchmarkFig45Example(b *testing.B) { benchExperiment(b, "fig45") }
+
+// BenchmarkFig6StaticPower regenerates Fig. 6 (NEC vs static power).
+func BenchmarkFig6StaticPower(b *testing.B) { benchExperiment(b, "fig6") }
+
+// BenchmarkFig7Alpha regenerates Fig. 7 (NEC vs dynamic exponent).
+func BenchmarkFig7Alpha(b *testing.B) { benchExperiment(b, "fig7") }
+
+// BenchmarkTable2Grid regenerates Table II (NEC of F1/F2 over the
+// (α, p0) grid).
+func BenchmarkTable2Grid(b *testing.B) { benchExperiment(b, "tab2") }
+
+// BenchmarkFig8Cores regenerates Fig. 8 (NEC vs number of cores).
+func BenchmarkFig8Cores(b *testing.B) { benchExperiment(b, "fig8") }
+
+// BenchmarkFig9Intensity regenerates Fig. 9 (NEC vs intensity range).
+func BenchmarkFig9Intensity(b *testing.B) { benchExperiment(b, "fig9") }
+
+// BenchmarkFig10Tasks regenerates Fig. 10 (NEC vs number of tasks).
+func BenchmarkFig10Tasks(b *testing.B) { benchExperiment(b, "fig10") }
+
+// BenchmarkTable3Fit regenerates the Table III XScale power-model fit.
+func BenchmarkTable3Fit(b *testing.B) { benchExperiment(b, "tab3") }
+
+// BenchmarkFig11XScale regenerates Fig. 11 (practical XScale scheduling
+// with quantization and deadline-miss rates).
+func BenchmarkFig11XScale(b *testing.B) { benchExperiment(b, "fig11") }
+
+// BenchmarkFig11Stress regenerates the stressed deadline-miss sweep.
+func BenchmarkFig11Stress(b *testing.B) { benchExperiment(b, "fig11-stress") }
+
+// BenchmarkCoreCountSearch regenerates the Section VI.D core-count
+// selection ablation.
+func BenchmarkCoreCountSearch(b *testing.B) { benchExperiment(b, "ablation-capsearch") }
+
+// BenchmarkAblationOrder regenerates the Algorithm 2 processing-order
+// ablation.
+func BenchmarkAblationOrder(b *testing.B) { benchExperiment(b, "ablation-order") }
+
+// BenchmarkAblationRefine regenerates the final-refinement ablation.
+func BenchmarkAblationRefine(b *testing.B) { benchExperiment(b, "ablation-refine") }
+
+// BenchmarkAblationQuantize regenerates the quantization-policy ablation.
+func BenchmarkAblationQuantize(b *testing.B) { benchExperiment(b, "ablation-quantize") }
+
+// BenchmarkAblationSplit regenerates the two-level splitting ablation.
+func BenchmarkAblationSplit(b *testing.B) { benchExperiment(b, "ablation-split") }
+
+// BenchmarkBaselinePartition regenerates the migratory-vs-partitioned
+// baseline comparison.
+func BenchmarkBaselinePartition(b *testing.B) { benchExperiment(b, "baseline-partition") }
+
+// BenchmarkBaselineOnline regenerates the offline-vs-online comparison.
+func BenchmarkBaselineOnline(b *testing.B) { benchExperiment(b, "baseline-online") }
+
+// BenchmarkBaselineGovernor regenerates the governor comparison.
+func BenchmarkBaselineGovernor(b *testing.B) { benchExperiment(b, "baseline-governor") }
+
+// BenchmarkRobustness regenerates the workload-model robustness check.
+func BenchmarkRobustness(b *testing.B) { benchExperiment(b, "robustness") }
+
+// BenchmarkAblationBound regenerates the analytical-bound tightness check.
+func BenchmarkAblationBound(b *testing.B) { benchExperiment(b, "ablation-bound") }
+
+// BenchmarkExtensionCapped regenerates the cap-aware scheduler comparison.
+func BenchmarkExtensionCapped(b *testing.B) { benchExperiment(b, "extension-capped") }
+
+// BenchmarkExtensionHetero regenerates the leakage-aware assignment
+// comparison.
+func BenchmarkExtensionHetero(b *testing.B) { benchExperiment(b, "extension-hetero") }

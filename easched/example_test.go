@@ -1,0 +1,125 @@
+package easched_test
+
+import (
+	"fmt"
+
+	"repro/easched"
+)
+
+// The paper's Section V.D worked example: six tasks on a quad-core with
+// p(f) = f³. The DER-based final schedule reproduces the published
+// energy of 31.8362.
+func ExampleSchedule() {
+	tasks := easched.MustTasks(
+		easched.T(0, 8, 10),
+		easched.T(2, 14, 18),
+		easched.T(4, 8, 16),
+		easched.T(6, 4, 14),
+		easched.T(8, 10, 20),
+		easched.T(12, 6, 22),
+	)
+	res, err := easched.Schedule(tasks, 4, easched.NewModel(3, 0), easched.DER)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E^F2 = %.4f\n", res.FinalEnergy)
+	// Output:
+	// E^F2 = 31.8362
+}
+
+// Both allocation methods on the same instance: the DER-based method
+// (the paper's recommendation) wins.
+func ExampleScheduleBoth() {
+	tasks := easched.MustTasks(
+		easched.T(0, 8, 10),
+		easched.T(2, 14, 18),
+		easched.T(4, 8, 16),
+		easched.T(6, 4, 14),
+		easched.T(8, 10, 20),
+		easched.T(12, 6, 22),
+	)
+	even, der, err := easched.ScheduleBoth(tasks, 4, easched.NewModel(3, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("even: %.4f\nder:  %.4f\n", even.FinalEnergy, der.FinalEnergy)
+	// Output:
+	// even: 33.0642
+	// der:  31.8362
+}
+
+// The introductory YDS example (Fig. 1): speed 1 on the critical
+// interval [4,8], 0.75 elsewhere.
+func ExampleYDS() {
+	tasks := easched.MustTasks(
+		easched.T(0, 4, 12),
+		easched.T(2, 2, 10),
+		easched.T(4, 4, 8),
+	)
+	_, profile, err := easched.YDS(tasks)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range profile.Bands {
+		fmt.Printf("[%g, %g] speed %.2f\n", b.Start, b.End, b.Speed)
+	}
+	// Output:
+	// [0, 4] speed 0.75
+	// [4, 8] speed 1.00
+	// [8, 12] speed 0.75
+}
+
+// The motivational example of Section II: the convex optimum on two
+// cores with p(f) = f³ + 0.01 matches the paper's KKT solution,
+// 155/32 + 0.2.
+func ExampleOptimal() {
+	tasks := easched.MustTasks(
+		easched.T(0, 4, 12),
+		easched.T(2, 2, 10),
+		easched.T(4, 4, 8),
+	)
+	sol, err := easched.Optimal(tasks, 2, easched.NewModel(3, 0.01))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E^opt = %.3f\n", sol.Energy)
+	// Output:
+	// E^opt = 5.044
+}
+
+// Schedulability analysis via the max-flow reduction: the Fig. 1
+// instance needs speed exactly 1 on a uniprocessor.
+func ExampleMinimalSpeed() {
+	tasks := easched.MustTasks(
+		easched.T(0, 4, 12),
+		easched.T(2, 2, 10),
+		easched.T(4, 4, 8),
+	)
+	s, err := easched.MinimalSpeed(tasks, 1)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("minimal feasible speed: %.3f\n", s)
+	// Output:
+	// minimal feasible speed: 1.000
+}
+
+// Quantizing a continuous schedule onto the Intel XScale operating
+// points (Table III).
+func ExampleQuantize() {
+	tab := easched.IntelXScale()
+	model, err := easched.FitTable(tab)
+	if err != nil {
+		panic(err)
+	}
+	// One job: 4000 Mcycles, must finish within 20 s → 200 MHz minimum.
+	tasks := easched.MustTasks(easched.T(0, 4000, 20))
+	res, err := easched.Schedule(tasks, 1, model, easched.DER)
+	if err != nil {
+		panic(err)
+	}
+	a := easched.Quantize(res.Final, tab)
+	fmt.Printf("missed: %v\n", a.Missed)
+	// Output:
+	// missed: false
+}

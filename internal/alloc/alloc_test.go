@@ -1,0 +1,241 @@
+package alloc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ideal"
+	"repro/internal/interval"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func sectionVD(t *testing.T) (*interval.Decomposition, *ideal.Plan) {
+	t.Helper()
+	ts := task.SectionVDExample()
+	d := interval.MustDecompose(ts, 0)
+	plan := ideal.MustBuild(ts, power.Unit(3, 0))
+	return d, plan
+}
+
+func TestEvenAllocationSectionVD(t *testing.T) {
+	d, _ := sectionVD(t)
+	a := MustBuild(d, 4, Even, nil)
+	// Heavy subintervals 4 ([8,10]) and 6 ([12,14]): each of the 5
+	// overlapping tasks gets 4·2/5 = 8/5.
+	for _, j := range []int{4, 6} {
+		for _, id := range d.Subs[j].Overlapping {
+			if got := a.Grant(id, j); math.Abs(got-1.6) > 1e-12 {
+				t.Errorf("even grant(τ%d, sub %d) = %g, want 1.6", id+1, j, got)
+			}
+		}
+	}
+	// Light subintervals grant the full length to each overlapping task.
+	for _, id := range d.Subs[0].Overlapping {
+		if got := a.Grant(id, 0); got != 2 {
+			t.Errorf("light grant = %g, want 2", got)
+		}
+	}
+	// Totals: paper's final frequencies imply A_1 = 8+8/5, A_2 = 12+16/5,
+	// A_3 = 8+16/5, A_4 = 4+16/5, A_5 = 8+16/5, A_6 = 8+8/5.
+	want := []float64{8 + 8.0/5, 12 + 16.0/5, 8 + 16.0/5, 4 + 16.0/5, 8 + 16.0/5, 8 + 8.0/5}
+	for i, w := range want {
+		if math.Abs(a.Total[i]-w) > 1e-9 {
+			t.Errorf("A_%d = %g, want %g", i+1, a.Total[i], w)
+		}
+	}
+}
+
+func TestDERAllocationSectionVD(t *testing.T) {
+	d, plan := sectionVD(t)
+	a := MustBuild(d, 4, DER, plan)
+	// Paper's [8,10] allocations: τ1..τ5 get 1.7415, 1.9048, 1.4512,
+	// 1.0884, 1.8141.
+	want810 := map[int]float64{0: 1.7415, 1: 1.9048, 2: 1.4512, 3: 1.0884, 4: 1.8141}
+	for id, w := range want810 {
+		if got := a.Grant(id, 4); math.Abs(got-w) > 1e-4 {
+			t.Errorf("DER grant(τ%d, [8,10]) = %.4f, want %.4f", id+1, got, w)
+		}
+	}
+	// Paper's [12,14] allocations: τ2..τ6 get 2, 1.5385, 1.1538, 1.9231,
+	// 1.3846 (τ2 clamped to the subinterval length, remainder
+	// renormalized).
+	want1214 := map[int]float64{1: 2, 2: 1.5385, 3: 1.1538, 4: 1.9231, 5: 1.3846}
+	for id, w := range want1214 {
+		if got := a.Grant(id, 6); math.Abs(got-w) > 1e-4 {
+			t.Errorf("DER grant(τ%d, [12,14]) = %.4f, want %.4f", id+1, got, w)
+		}
+	}
+}
+
+func TestDERCapacityConservation(t *testing.T) {
+	d, plan := sectionVD(t)
+	a := MustBuild(d, 4, DER, plan)
+	// In both heavy subintervals the full capacity 8 is distributed
+	// (no task's DER is zero and demand exceeds capacity).
+	for _, j := range []int{4, 6} {
+		var sum float64
+		for _, g := range a.PerSub[j] {
+			sum += g
+		}
+		if math.Abs(sum-8) > 1e-9 {
+			t.Errorf("sub %d grants sum to %g, want full capacity 8", j, sum)
+		}
+	}
+}
+
+func TestGrantsNeverExceedLimits(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 30; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(20))
+		m := 2 + rng.Intn(5)
+		pm := power.Unit(2+rng.Float64(), rng.Float64()*0.2)
+		d := interval.MustDecompose(ts, 0)
+		plan := ideal.MustBuild(ts, pm)
+		for _, method := range []Method{Even, DER, DERAscending} {
+			var pl *ideal.Plan
+			if method != Even {
+				pl = plan
+			}
+			a := MustBuild(d, m, method, pl)
+			for j, sub := range d.Subs {
+				var sum float64
+				for id, g := range a.PerSub[j] {
+					if g < -1e-12 {
+						t.Fatalf("%v: negative grant %g", method, g)
+					}
+					if g > sub.Length()+1e-9 {
+						t.Fatalf("%v: grant %g exceeds subinterval length %g", method, g, sub.Length())
+					}
+					if !d.Eligible(id, j) {
+						t.Fatalf("%v: grant to ineligible task %d in sub %d", method, id, j)
+					}
+					sum += g
+				}
+				if sum > sub.Capacity(m)+1e-9 {
+					t.Fatalf("%v: sub %d total grant %g exceeds capacity %g", method, j, sum, sub.Capacity(m))
+				}
+			}
+		}
+	}
+}
+
+func TestLightSubintervalsAlwaysFullLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ts := task.MustGenerate(rng, task.PaperDefaults(15))
+	d := interval.MustDecompose(ts, 0)
+	plan := ideal.MustBuild(ts, power.Unit(3, 0.1))
+	for _, method := range []Method{Even, DER} {
+		a := MustBuild(d, 4, method, plan)
+		for j, sub := range d.Subs {
+			if sub.HeavyFor(4) {
+				continue
+			}
+			for _, id := range sub.Overlapping {
+				if got := a.Grant(id, j); math.Abs(got-sub.Length()) > 1e-12 {
+					t.Errorf("%v: light sub %d grant = %g, want %g", method, j, got, sub.Length())
+				}
+			}
+		}
+	}
+}
+
+func TestTotalsMatchPerSub(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ts := task.MustGenerate(rng, task.PaperDefaults(25))
+	d := interval.MustDecompose(ts, 0)
+	plan := ideal.MustBuild(ts, power.Unit(3, 0.05))
+	a := MustBuild(d, 3, DER, plan)
+	for i := range ts {
+		var sum float64
+		for j := range d.Subs {
+			sum += a.Grant(i, j)
+		}
+		if math.Abs(sum-a.Total[i]) > 1e-9 {
+			t.Errorf("task %d: Σ grants %g != Total %g", i, sum, a.Total[i])
+		}
+	}
+}
+
+func TestZeroDERTaskGetsNothing(t *testing.T) {
+	// One long-window low-work task under heavy static power finishes its
+	// ideal execution early; in a late heavy subinterval its DER is 0 and
+	// it must receive no allocation there.
+	ts := task.MustNew(
+		[3]float64{0, 1, 100},  // tiny work, huge window → short ideal run
+		[3]float64{40, 30, 60}, // these four make [40,60] heavy for m=2...
+		[3]float64{40, 30, 60},
+		[3]float64{40, 30, 60},
+	)
+	m := power.Unit(3, 0.4)
+	d := interval.MustDecompose(ts, 0)
+	plan := ideal.MustBuild(ts, m)
+	// Locate the [40,60] subinterval.
+	j, ok := d.Locate(50)
+	if !ok {
+		t.Fatal("no subinterval at t=50")
+	}
+	if !d.Subs[j].HeavyFor(2) {
+		t.Fatalf("expected [40,60] heavy for m=2, overlap=%d", d.Subs[j].Count())
+	}
+	if plan.ExecWithin(0, 40, 60) != 0 {
+		t.Fatalf("task 0 ideal run should end before 40, ends at %g", plan.Tasks[0].End)
+	}
+	a := MustBuild(d, 2, DER, plan)
+	if got := a.Grant(0, j); got != 0 {
+		t.Errorf("zero-DER task granted %g, want 0", got)
+	}
+}
+
+func TestDEROrderingAblationDiffers(t *testing.T) {
+	// Ascending processing must change allocations whenever a clamp binds.
+	ts := task.MustNew(
+		[3]float64{0, 30, 10}, // very intense
+		[3]float64{0, 5, 10},
+		[3]float64{0, 5, 10},
+	)
+	d := interval.MustDecompose(ts, 0)
+	plan := ideal.MustBuild(ts, power.Unit(3, 0))
+	desc := MustBuild(d, 2, DER, plan)
+	asc := MustBuild(d, 2, DERAscending, plan)
+	if math.Abs(desc.Grant(0, 0)-asc.Grant(0, 0)) < 1e-9 &&
+		math.Abs(desc.Grant(1, 0)-asc.Grant(1, 0)) < 1e-9 {
+		t.Error("orderings should produce different allocations when clamping binds")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	d, plan := sectionVD(t)
+	if _, err := Build(d, 0, Even, nil); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := Build(d, 4, DER, nil); err == nil {
+		t.Error("DER without plan should fail")
+	}
+	if _, err := Build(d, 4, Method(99), plan); err == nil {
+		t.Error("unknown method should fail")
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if Even.String() != "even" || DER.String() != "der" || DERAscending.String() != "der-ascending" {
+		t.Error("method names changed")
+	}
+	if Method(42).String() == "" {
+		t.Error("unknown method should still print")
+	}
+}
+
+func BenchmarkBuildDER(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	ts := task.MustGenerate(rng, task.PaperDefaults(40))
+	d := interval.MustDecompose(ts, 0)
+	plan := ideal.MustBuild(ts, power.Unit(3, 0.1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(d, 4, DER, plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

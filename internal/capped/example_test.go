@@ -1,0 +1,42 @@
+package capped_test
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/capped"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// A single task that needs 500 MHz sustained on a processor capped at
+// 1000 MHz: the plain pipeline already fits, so no fallback is used and
+// the frequency is simply C/(D−R).
+func ExampleSchedule() {
+	ts := task.MustNew([3]float64{0, 5000, 10}) // 500 MHz intensity
+	fit, err := power.FitDefault(power.IntelXScale())
+	if err != nil {
+		panic(err)
+	}
+	res, err := capped.Schedule(ts, 1, fit.Model, alloc.DER, 1000)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("fallback: %v, frequency %.0f MHz\n", res.UsedFallback, res.Frequencies[0])
+	// Output:
+	// fallback: false, frequency 500 MHz
+}
+
+// An impossible instance — 2000 MHz sustained against a 1000 MHz cap —
+// is rejected with ErrInfeasible rather than silently missing deadlines.
+func ExampleSchedule_infeasible() {
+	ts := task.MustNew([3]float64{0, 4000, 2})
+	fit, err := power.FitDefault(power.IntelXScale())
+	if err != nil {
+		panic(err)
+	}
+	_, err = capped.Schedule(ts, 4, fit.Model, alloc.DER, 1000)
+	fmt.Println(err == capped.ErrInfeasible)
+	// Output:
+	// true
+}

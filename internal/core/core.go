@@ -1,0 +1,238 @@
+// Package core implements the paper's primary contribution: the
+// lightweight subinterval-based energy-aware schedulers for aperiodic
+// tasks on multi-core DVFS processors (Section V).
+//
+// For a task set, a core count m, and a power model, the package builds:
+//
+//   - the intermediate schedule S^I (Section V.B.1 / V.C.1): every task
+//     keeps its ideal-case frequency wherever its per-subinterval
+//     available-time allocation accommodates the ideal execution, and
+//     raises the frequency just enough to fit where it does not;
+//   - the final schedule S^F (Section V.B.2 / V.C.2): every task's single
+//     frequency is re-optimized against its total available time A_i,
+//     f_i = max( (p0/(γ(α−1)))^(1/α), C_i/A_i ).
+//
+// Both come in two flavors selected by the allocation method: the evenly
+// allocating method (S^I1/S^F1) and the DER-based allocating method
+// (S^I2/S^F2). Concrete collision-free schedules are realized with
+// Algorithm 1 (package pack) and validated against the feasibility
+// constraints of Section III.C.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/ideal"
+	"repro/internal/interval"
+	"repro/internal/numeric"
+	"repro/internal/pack"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Result bundles everything produced for one (task set, m, model, method)
+// instance.
+type Result struct {
+	Tasks  task.Set
+	Cores  int
+	Model  power.Model
+	Method alloc.Method
+
+	// Decomp is the subinterval decomposition.
+	Decomp *interval.Decomposition
+	// Ideal is the unlimited-core plan S^O.
+	Ideal *ideal.Plan
+	// Alloc is the available-execution-time allocation.
+	Alloc *alloc.Allocation
+
+	// Intermediate is the realized S^I schedule and its energy E^I.
+	Intermediate       *schedule.Schedule
+	IntermediateEnergy float64
+
+	// Final is the realized S^F schedule and its energy E^F.
+	Final       *schedule.Schedule
+	FinalEnergy float64
+	// FinalFrequencies[i] is the single frequency of task i in S^F.
+	FinalFrequencies []float64
+	// AvailableTime[i] is A_i, the task's total available execution time.
+	AvailableTime []float64
+}
+
+// Options configures Schedule.
+type Options struct {
+	// Tolerance merges subinterval boundaries closer than this; zero keeps
+	// exact distinctness. Float-generated workloads should pass a small
+	// epsilon.
+	Tolerance float64
+	// SkipValidation disables the internal feasibility check of the
+	// realized schedules (useful only in microbenchmarks).
+	SkipValidation bool
+}
+
+// Schedule runs the full pipeline of Section V for one allocation method.
+func Schedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts Options) (*Result, error) {
+	if m <= 0 {
+		return nil, fmt.Errorf("core: need at least one core, have %d", m)
+	}
+	if err := pm.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := interval.Decompose(ts, opts.Tolerance)
+	if err != nil {
+		return nil, err
+	}
+	plan, err := ideal.Build(ts, pm)
+	if err != nil {
+		return nil, err
+	}
+	al, err := alloc.Build(d, m, method, plan)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Tasks:  ts,
+		Cores:  m,
+		Model:  pm,
+		Method: method,
+		Decomp: d,
+		Ideal:  plan,
+		Alloc:  al,
+	}
+	if err := res.buildIntermediate(); err != nil {
+		return nil, fmt.Errorf("core: intermediate schedule: %w", err)
+	}
+	if err := res.buildFinal(); err != nil {
+		return nil, fmt.Errorf("core: final schedule: %w", err)
+	}
+	if !opts.SkipValidation {
+		if errs := res.Intermediate.Validate(1e-6, true); len(errs) > 0 {
+			return nil, fmt.Errorf("core: intermediate schedule infeasible: %v", errs[0])
+		}
+		if errs := res.Final.Validate(1e-6, true); len(errs) > 0 {
+			return nil, fmt.Errorf("core: final schedule infeasible: %v", errs[0])
+		}
+	}
+	return res, nil
+}
+
+// MustSchedule is Schedule but panics on error.
+func MustSchedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts Options) *Result {
+	r, err := Schedule(ts, m, pm, method, opts)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// buildIntermediate realizes S^I: in every subinterval each overlapping
+// task executes min(ideal time, grant); if the grant is tighter than the
+// ideal execution the frequency is raised to complete the same work
+// (Sections V.B.1 and V.C.1).
+func (r *Result) buildIntermediate() error {
+	sched := schedule.New(r.Tasks, r.Cores)
+	var energy numeric.KahanSum
+	for j, sub := range r.Decomp.Subs {
+		type slot struct {
+			id   int
+			time float64
+			freq float64
+		}
+		var slots []slot
+		for _, id := range sub.Overlapping {
+			idealTime := r.Ideal.ExecWithin(id, sub.Start, sub.End)
+			if idealTime <= 0 {
+				continue
+			}
+			grant := r.Alloc.Grant(id, j)
+			f := r.Ideal.Tasks[id].Frequency
+			t := idealTime
+			if idealTime > grant {
+				// Raise the frequency to fit the granted time while
+				// completing the same work idealTime·f^O.
+				if grant <= 0 {
+					return fmt.Errorf("task %d needs time in subinterval %d but was granted none", id, j)
+				}
+				f = idealTime * f / grant
+				t = grant
+			}
+			slots = append(slots, slot{id: id, time: t, freq: f})
+			energy.Add(r.Model.EnergyForTime(t, f))
+		}
+		reqs := make([]pack.Request, len(slots))
+		for k, s := range slots {
+			reqs[k] = pack.Request{Task: s.id, Time: s.time}
+		}
+		pieces, err := pack.Interval(sub.Start, sub.End, r.Cores, reqs)
+		if err != nil {
+			return fmt.Errorf("subinterval %d: %w", j, err)
+		}
+		freqOf := make(map[int]float64, len(slots))
+		for _, s := range slots {
+			freqOf[s.id] = s.freq
+		}
+		for _, p := range pieces {
+			sched.Add(schedule.Segment{
+				Task: p.Task, Core: p.Core,
+				Start: p.Start, End: p.End,
+				Frequency: freqOf[p.Task],
+			})
+		}
+	}
+	r.Intermediate = sched
+	r.IntermediateEnergy = energy.Value()
+	return nil
+}
+
+// buildFinal realizes S^F: task i runs at the single frequency
+// f_i = max(f*, C_i/A_i), using C_i/f_i ≤ A_i total time, distributed
+// over subintervals proportionally to the grants (which preserves both
+// per-subinterval caps, so Algorithm 1 applies).
+func (r *Result) buildFinal() error {
+	n := len(r.Tasks)
+	r.FinalFrequencies = make([]float64, n)
+	r.AvailableTime = make([]float64, n)
+	useTime := make([]float64, n)
+	var energy numeric.KahanSum
+	for i, tk := range r.Tasks {
+		a := r.Alloc.Total[i]
+		if a <= 0 {
+			return fmt.Errorf("task %d has no available execution time", i)
+		}
+		f := r.Model.BestFrequency(tk.Work, a)
+		r.FinalFrequencies[i] = f
+		r.AvailableTime[i] = a
+		useTime[i] = tk.Work / f
+		energy.Add(r.Model.Energy(tk.Work, f))
+	}
+	sched := schedule.New(r.Tasks, r.Cores)
+	for j, sub := range r.Decomp.Subs {
+		var reqs []pack.Request
+		for _, id := range sub.Overlapping {
+			grant := r.Alloc.Grant(id, j)
+			if grant <= 0 {
+				continue
+			}
+			t := useTime[id] * grant / r.Alloc.Total[id]
+			if t <= 0 {
+				continue
+			}
+			reqs = append(reqs, pack.Request{Task: id, Time: t})
+		}
+		pieces, err := pack.Interval(sub.Start, sub.End, r.Cores, reqs)
+		if err != nil {
+			return fmt.Errorf("subinterval %d: %w", j, err)
+		}
+		for _, p := range pieces {
+			sched.Add(schedule.Segment{
+				Task: p.Task, Core: p.Core,
+				Start: p.Start, End: p.End,
+				Frequency: r.FinalFrequencies[p.Task],
+			})
+		}
+	}
+	r.Final = sched
+	r.FinalEnergy = energy.Value()
+	return nil
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// The Section V.D example is the paper's own end-to-end worked instance:
+// six tasks on a quad-core with p(f) = f³. The paper reports
+// E^F1 = 33.0642 and E^F2 = 31.8362.
+func TestSectionVDFinalEnergies(t *testing.T) {
+	ts := task.SectionVDExample()
+	pm := power.Unit(3, 0)
+	suite, err := RunSuite(ts, 4, pm, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := suite.Even.FinalEnergy; math.Abs(got-33.0642) > 5e-4 {
+		t.Errorf("E^F1 = %.4f, paper reports 33.0642", got)
+	}
+	if got := suite.DER.FinalEnergy; math.Abs(got-31.8362) > 5e-4 {
+		t.Errorf("E^F2 = %.4f, paper reports 31.8362", got)
+	}
+}
+
+func TestSectionVDFinalFrequencies(t *testing.T) {
+	// Paper: F1 frequencies are 8/(8+8/5), 14/(12+16/5), 8/(8+16/5),
+	// 4/(4+16/5), 10/(8+16/5), and 6/(8+8/5).
+	ts := task.SectionVDExample()
+	res := MustSchedule(ts, 4, power.Unit(3, 0), alloc.Even, Options{})
+	want := []float64{
+		8 / (8 + 8.0/5),
+		14 / (12 + 16.0/5),
+		8 / (8 + 16.0/5),
+		4 / (4 + 16.0/5),
+		10 / (8 + 16.0/5),
+		6 / (8 + 8.0/5),
+	}
+	for i, w := range want {
+		if math.Abs(res.FinalFrequencies[i]-w) > 1e-9 {
+			t.Errorf("f_%d = %g, want %g", i+1, res.FinalFrequencies[i], w)
+		}
+	}
+}
+
+func TestSchedulesFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	for trial := 0; trial < 25; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(20))
+		m := 2 + rng.Intn(5)
+		pm := power.Unit(2+rng.Float64(), rng.Float64()*0.2)
+		for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+			res, err := Schedule(ts, m, pm, method, Options{})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, method, err)
+			}
+			// Validation already ran inside Schedule; double-check the
+			// work totals strictly (final schedules complete exactly C_i).
+			done := res.Final.CompletedWork()
+			for _, tk := range ts {
+				if math.Abs(done[tk.ID]-tk.Work) > 1e-6*math.Max(1, tk.Work) {
+					t.Errorf("trial %d %v: task %d completed %g of %g",
+						trial, method, tk.ID, done[tk.ID], tk.Work)
+				}
+			}
+		}
+	}
+}
+
+func TestFinalNeverWorseThanIntermediate(t *testing.T) {
+	// Section V: E^F1 ≤ E^I1 and E^F2 ≤ E^I2 — the final refinement
+	// re-optimizes frequencies, so it cannot lose.
+	rng := rand.New(rand.NewSource(200))
+	for trial := 0; trial < 30; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		pm := power.Unit(2+rng.Float64(), rng.Float64()*0.2)
+		for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+			res := MustSchedule(ts, 4, pm, method, Options{})
+			if res.FinalEnergy > res.IntermediateEnergy+1e-6 {
+				t.Errorf("trial %d %v: E^F %.6f > E^I %.6f",
+					trial, method, res.FinalEnergy, res.IntermediateEnergy)
+			}
+		}
+	}
+}
+
+func TestEnergyMatchesRealizedSchedule(t *testing.T) {
+	// The closed-form energies must agree with the energy of the realized
+	// segment lists.
+	rng := rand.New(rand.NewSource(300))
+	for trial := 0; trial < 15; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(12))
+		pm := power.Unit(3, 0.1)
+		for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+			res := MustSchedule(ts, 4, pm, method, Options{})
+			if got := res.Final.Energy(pm); math.Abs(got-res.FinalEnergy) > 1e-6*math.Max(1, res.FinalEnergy) {
+				t.Errorf("%v: realized final energy %g != closed form %g", method, got, res.FinalEnergy)
+			}
+			if got := res.Intermediate.Energy(pm); math.Abs(got-res.IntermediateEnergy) > 1e-6*math.Max(1, res.IntermediateEnergy) {
+				t.Errorf("%v: realized intermediate energy %g != closed form %g", method, got, res.IntermediateEnergy)
+			}
+		}
+	}
+}
+
+func TestFinalFrequencyFloor(t *testing.T) {
+	// Final frequencies never drop below the critical frequency or below
+	// C_i/A_i.
+	rng := rand.New(rand.NewSource(400))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	pm := power.Unit(3, 0.2)
+	res := MustSchedule(ts, 4, pm, alloc.DER, Options{})
+	for i, f := range res.FinalFrequencies {
+		if f < pm.CriticalFrequency()-1e-12 {
+			t.Errorf("f_%d = %g below f* = %g", i, f, pm.CriticalFrequency())
+		}
+		if f < ts[i].Work/res.AvailableTime[i]-1e-12 {
+			t.Errorf("f_%d = %g below C/A = %g", i, f, ts[i].Work/res.AvailableTime[i])
+		}
+	}
+}
+
+func TestSingleCoreDegeneratesSafely(t *testing.T) {
+	// m = 1 turns every multi-task subinterval heavy; schedules must stay
+	// feasible.
+	ts := task.Fig1Example()
+	pm := power.Unit(3, 0.01)
+	for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+		res, err := Schedule(ts, 1, pm, method, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", method, err)
+		}
+		if res.FinalEnergy <= 0 {
+			t.Errorf("%v: non-positive energy", method)
+		}
+	}
+}
+
+func TestManyCoresMatchesIdeal(t *testing.T) {
+	// With m ≥ n there are no heavy subintervals; every task receives its
+	// whole window, so the final schedule equals the ideal plan's energy.
+	ts := task.SectionVDExample()
+	pm := power.Unit(3, 0.05)
+	res := MustSchedule(ts, len(ts), pm, alloc.DER, Options{})
+	var wantTotal float64
+	for _, tk := range ts {
+		wantTotal += pm.TaskEnergy(tk.Work, tk.Window())
+	}
+	if math.Abs(res.FinalEnergy-wantTotal) > 1e-9 {
+		t.Errorf("unconstrained final energy %g != ideal %g", res.FinalEnergy, wantTotal)
+	}
+}
+
+func TestDERBeatsEvenOnSectionVD(t *testing.T) {
+	suite, err := RunSuite(task.SectionVDExample(), 4, power.Unit(3, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if suite.DER.FinalEnergy >= suite.Even.FinalEnergy {
+		t.Errorf("DER final %g should beat even final %g on the paper's example",
+			suite.DER.FinalEnergy, suite.Even.FinalEnergy)
+	}
+}
+
+func TestSearchCores(t *testing.T) {
+	// With significant static power, using fewer cores can save energy;
+	// the search must return the argmin of its own energy curve.
+	rng := rand.New(rand.NewSource(77))
+	ts := task.MustGenerate(rng, task.PaperDefaults(10))
+	pm := power.Unit(3, 0.3)
+	sr, err := SearchCores(ts, 6, pm, alloc.DER, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.EnergyByCores) != 6 {
+		t.Fatalf("energy curve has %d points", len(sr.EnergyByCores))
+	}
+	best := 0
+	for k, e := range sr.EnergyByCores {
+		if e < sr.EnergyByCores[best] {
+			best = k
+		}
+	}
+	if sr.Cores != best+1 {
+		t.Errorf("Cores = %d, argmin is %d", sr.Cores, best+1)
+	}
+	if sr.Result.FinalEnergy != sr.EnergyByCores[sr.Cores-1] {
+		t.Error("Result energy inconsistent with curve")
+	}
+}
+
+func TestScheduleValidation(t *testing.T) {
+	ts := task.Fig1Example()
+	if _, err := Schedule(ts, 0, power.Unit(3, 0), alloc.Even, Options{}); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := Schedule(ts, 2, power.Unit(1, 0), alloc.Even, Options{}); err == nil {
+		t.Error("invalid model should fail")
+	}
+	if _, err := Schedule(task.Set{}, 2, power.Unit(3, 0), alloc.Even, Options{}); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, err := SearchCores(ts, 0, power.Unit(3, 0), alloc.Even, Options{}); err == nil {
+		t.Error("zero maxCores should fail")
+	}
+}
+
+func TestIntermediateCompletesAllWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	ts := task.MustGenerate(rng, task.PaperDefaults(18))
+	pm := power.Unit(3, 0.05)
+	for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+		res := MustSchedule(ts, 4, pm, method, Options{})
+		done := res.Intermediate.CompletedWork()
+		for _, tk := range ts {
+			if done[tk.ID] < tk.Work-1e-6*math.Max(1, tk.Work) {
+				t.Errorf("%v: intermediate completes %g of %g for task %d",
+					method, done[tk.ID], tk.Work, tk.ID)
+			}
+		}
+	}
+}
+
+func TestEvenIntermediateEnergyBound(t *testing.T) {
+	// Section V.B: E^I1 ≤ (n^max/m)^(α−1) · E^O.
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 20; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		pm := power.Unit(3, 0.05)
+		m := 2 + rng.Intn(4)
+		res := MustSchedule(ts, m, pm, alloc.Even, Options{})
+		nmax := res.Decomp.MaxOverlap()
+		if nmax < m {
+			nmax = m
+		}
+		bound := math.Pow(float64(nmax)/float64(m), pm.Alpha-1) * res.Ideal.TotalEnergy
+		if res.IntermediateEnergy > bound*(1+1e-9) {
+			t.Errorf("trial %d: E^I1 = %g exceeds bound %g (nmax=%d, m=%d)",
+				trial, res.IntermediateEnergy, bound, nmax, m)
+		}
+	}
+}
+
+func BenchmarkScheduleDER(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	pm := power.Unit(3, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(ts, 4, pm, alloc.DER, Options{SkipValidation: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleEven(b *testing.B) {
+	rng := rand.New(rand.NewSource(8))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	pm := power.Unit(3, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(ts, 4, pm, alloc.Even, Options{SkipValidation: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

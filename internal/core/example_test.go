@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// The Section V.D worked example: six tasks on a quad-core under
+// p(f) = f³. Both allocation methods reproduce the paper's energies.
+func ExampleSchedule() {
+	ts := task.SectionVDExample()
+	pm := power.Unit(3, 0)
+	even, err := core.Schedule(ts, 4, pm, alloc.Even, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	der, err := core.Schedule(ts, 4, pm, alloc.DER, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E^F1 = %.4f\n", even.FinalEnergy)
+	fmt.Printf("E^F2 = %.4f\n", der.FinalEnergy)
+	// Output:
+	// E^F1 = 33.0642
+	// E^F2 = 31.8362
+}
+
+// SearchCores picks the energy-minimal core count before execution
+// (Section VI.D).
+func ExampleSearchCores() {
+	ts := task.SectionVDExample()
+	sr, err := core.SearchCores(ts, 6, power.Unit(3, 0.2), alloc.DER, core.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("curve has %d points; best uses %d cores\n", len(sr.EnergyByCores), sr.Cores)
+	// Output:
+	// curve has 6 points; best uses 5 cores
+}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// Suite holds the results of both allocation methods on one instance —
+// the four schedules the paper's figures compare (I1, F1, I2, F2).
+type Suite struct {
+	Even *Result // S^I1 and S^F1
+	DER  *Result // S^I2 and S^F2
+}
+
+// RunSuite builds both methods' schedules.
+func RunSuite(ts task.Set, m int, pm power.Model, opts Options) (*Suite, error) {
+	even, err := Schedule(ts, m, pm, alloc.Even, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: even method: %w", err)
+	}
+	der, err := Schedule(ts, m, pm, alloc.DER, opts)
+	if err != nil {
+		return nil, fmt.Errorf("core: DER method: %w", err)
+	}
+	return &Suite{Even: even, DER: der}, nil
+}
+
+// SearchResult is the outcome of the core-count selection of Section VI.D.
+type SearchResult struct {
+	// Cores is the energy-minimal core count found.
+	Cores int
+	// Result is the schedule at that core count.
+	Result *Result
+	// EnergyByCores[k] is the final-schedule energy when using k+1 cores.
+	EnergyByCores []float64
+}
+
+// SearchCores simulates the DER-based final schedule for every core count
+// 1..maxCores and returns the energy-minimal configuration ("we can
+// simulate the energy consumption of a scheduling that uses one core,
+// then two cores, until the maximum number of cores ... choose the one
+// that consumes the minimum amount of energy", Section VI.D).
+func SearchCores(ts task.Set, maxCores int, pm power.Model, method alloc.Method, opts Options) (*SearchResult, error) {
+	if maxCores <= 0 {
+		return nil, fmt.Errorf("core: maxCores %d must be positive", maxCores)
+	}
+	sr := &SearchResult{EnergyByCores: make([]float64, maxCores)}
+	for m := 1; m <= maxCores; m++ {
+		res, err := Schedule(ts, m, pm, method, opts)
+		if err != nil {
+			return nil, fmt.Errorf("core: search at m=%d: %w", m, err)
+		}
+		sr.EnergyByCores[m-1] = res.FinalEnergy
+		if sr.Result == nil || res.FinalEnergy < sr.Result.FinalEnergy {
+			sr.Result = res
+			sr.Cores = m
+		}
+	}
+	return sr, nil
+}

@@ -1,0 +1,145 @@
+// Package discrete maps the continuous-frequency schedules onto a
+// practical processor with a finite set of operating points
+// (Section VI.C). Each required continuous frequency is quantized to a
+// table level — rounding up by default, which preserves every timing
+// guarantee because the quantized execution only shrinks within its
+// allotted slots — and energy is accounted with the table's measured
+// powers rather than the fitted curve.
+//
+// A required frequency above the table's maximum cannot be served: the
+// task would miss its deadline. The package records these misses, which
+// reproduces the paper's observation that the intermediate schedules and
+// the evenly-allocated final schedule miss deadlines with significant
+// probability while S^F2's miss probability is negligible.
+package discrete
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ideal"
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// RoundMode selects the quantization policy.
+type RoundMode int
+
+const (
+	// RoundUp picks the lowest level ≥ the required frequency
+	// (deadline-safe below f_max). This is the paper's implicit policy.
+	RoundUp RoundMode = iota
+	// RoundNearest picks the closest level; it can select a frequency
+	// below the requirement and thereby cause additional deadline misses.
+	// Exists for the quantization ablation.
+	RoundNearest
+)
+
+func (m RoundMode) String() string {
+	if m == RoundNearest {
+		return "nearest"
+	}
+	return "up"
+}
+
+// Assignment is the result of quantizing one schedule.
+type Assignment struct {
+	// Energy is the total energy using the table's measured powers,
+	// counting every task (missed tasks are accounted at the maximum
+	// frequency, the best the processor could do).
+	Energy float64
+	// MissedTasks lists task IDs whose required frequency could not be
+	// served (required > f_max, or, under RoundNearest, quantized below
+	// the requirement).
+	MissedTasks []int
+	// MissProbability-style indicator: true when MissedTasks is non-empty.
+	Missed bool
+}
+
+// quantizer accumulates segment-level quantization.
+type quantizer struct {
+	tab    *power.Table
+	mode   RoundMode
+	energy numeric.KahanSum
+	missed map[int]bool
+}
+
+func newQuantizer(tab *power.Table, mode RoundMode) *quantizer {
+	return &quantizer{tab: tab, mode: mode, missed: make(map[int]bool)}
+}
+
+// add quantizes one requirement: work units that must run at continuous
+// frequency req (to fit the continuous schedule's slot).
+func (q *quantizer) add(taskID int, work, req float64) {
+	if work <= 0 {
+		return
+	}
+	var lvl power.Level
+	switch q.mode {
+	case RoundNearest:
+		lvl = q.tab.RoundNearest(req)
+		if req > q.tab.MaxFrequency()*(1+1e-9) || lvl.Frequency < req*(1-1e-9) {
+			q.missed[taskID] = true
+		}
+	default:
+		var ok bool
+		lvl, ok = q.tab.RoundUp(req)
+		if !ok {
+			// Unservable: run at the maximum level and record the miss.
+			lvl = q.tab.Level(q.tab.Len() - 1)
+			q.missed[taskID] = true
+		}
+	}
+	q.energy.Add(lvl.Energy(work))
+}
+
+func (q *quantizer) assignment() Assignment {
+	a := Assignment{Energy: q.energy.Value()}
+	for id := range q.missed {
+		a.MissedTasks = append(a.MissedTasks, id)
+	}
+	a.Missed = len(a.MissedTasks) > 0
+	return a
+}
+
+// QuantizeSchedule quantizes a realized continuous schedule segment by
+// segment: each segment's work is re-executed at the quantized level of
+// its continuous frequency.
+func QuantizeSchedule(s *schedule.Schedule, tab *power.Table, mode RoundMode) Assignment {
+	q := newQuantizer(tab, mode)
+	for _, seg := range s.Segments {
+		q.add(seg.Task, seg.Work(), seg.Frequency)
+	}
+	return q.assignment()
+}
+
+// QuantizeIdeal quantizes the unlimited-core ideal plan: each task's whole
+// work at its ideal frequency.
+func QuantizeIdeal(plan *ideal.Plan, tab *power.Table, mode RoundMode) Assignment {
+	q := newQuantizer(tab, mode)
+	for _, tp := range plan.Tasks {
+		q.add(tp.Task.ID, tp.Task.Work, tp.Frequency)
+	}
+	return q.assignment()
+}
+
+// PracticalResult carries the quantized energies and miss indicators of
+// the four schedules of one core.Result pair, as compared in Fig. 11.
+type PracticalResult struct {
+	Ideal        Assignment // quantized S^O
+	Intermediate Assignment // quantized S^I
+	Final        Assignment // quantized S^F
+}
+
+// Practical quantizes all schedules of a core.Result.
+func Practical(res *core.Result, tab *power.Table, mode RoundMode) (*PracticalResult, error) {
+	if res.Ideal == nil || res.Intermediate == nil || res.Final == nil {
+		return nil, fmt.Errorf("discrete: result is missing schedules")
+	}
+	return &PracticalResult{
+		Ideal:        QuantizeIdeal(res.Ideal, tab, mode),
+		Intermediate: QuantizeSchedule(res.Intermediate, tab, mode),
+		Final:        QuantizeSchedule(res.Final, tab, mode),
+	}, nil
+}

@@ -1,0 +1,25 @@
+package discrete_test
+
+import (
+	"fmt"
+
+	"repro/internal/discrete"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// A segment requiring 700 MHz sits between the 600 and 800 MHz points.
+// Round-up pays the 800 MHz power for the whole job; two-level splitting
+// time-slices between 600 and 800 (half-and-half here) and saves 17%.
+func ExampleQuantizeSchedule() {
+	ts := task.MustNew([3]float64{0, 7000, 100})
+	s := schedule.New(ts, 1)
+	s.Add(schedule.Segment{Task: 0, Core: 0, Start: 0, End: 10, Frequency: 700})
+	tab := power.IntelXScale()
+	up := discrete.QuantizeSchedule(s, tab, discrete.RoundUp)
+	split := discrete.QuantizeScheduleSplit(s, tab)
+	fmt.Printf("round-up %.0f, two-level %.0f, missed %v\n", up.Energy, split.Energy, up.Missed)
+	// Output:
+	// round-up 7875, two-level 6500, missed false
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alloc"
+	"repro/internal/capped"
+	"repro/internal/core"
+	"repro/internal/discrete"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+const idExtCapped = 36
+
+// ExtensionCapped evaluates the cap-aware scheduler (package capped, an
+// extension beyond the paper) against the plain DER pipeline on the
+// stressed XScale workload of fig11-stress: quantized energy and
+// deadline-miss probability. The capped variant must drive the miss rate
+// to zero on feasible instances while staying close in energy.
+func ExtensionCapped(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	tab := power.IntelXScale()
+	fit, err := power.FitDefault(tab)
+	if err != nil {
+		return nil, err
+	}
+	pm := fit.Model
+	capF := tab.MaxFrequency()
+	res := &Result{
+		ID:          "extension-capped",
+		Title:       "Cap-aware allocation vs plain F2 under load (XScale, m=4)",
+		XLabel:      "tasks",
+		SeriesOrder: []string{"F2 energy", "capped energy"},
+	}
+	for k, n := range []int{30, 40, 50} {
+		gp := task.XScaleDefaults(n)
+		gp.ReleaseHi = 100
+		gp.IntensityLo = 0.5
+		stream := stats.NewStream(cfg.Seed)
+		var eF2, eCap stats.Accumulator
+		var missF2, missCap stats.MissRate
+		infeasible := 0
+		for rep := 0; rep < cfg.Replications; rep++ {
+			rng := stream.Rand(idExtCapped, k, rep)
+			ts, err := task.Generate(rng, gp)
+			if err != nil {
+				return nil, err
+			}
+			plain, err := core.Schedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+			if err != nil {
+				return nil, err
+			}
+			qPlain := discrete.QuantizeSchedule(plain.Final, tab, discrete.RoundUp)
+			capRes, err := capped.Schedule(ts, 4, pm, alloc.DER, capF)
+			if errors.Is(err, capped.ErrInfeasible) {
+				infeasible++
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			qCap := discrete.QuantizeSchedule(capRes.Schedule, tab, discrete.RoundUp)
+			eF2.Add(qPlain.Energy)
+			eCap.Add(qCap.Energy)
+			missF2.Observe(qPlain.Missed)
+			missCap.Observe(qCap.Missed)
+		}
+		res.Points = append(res.Points, Point{
+			X:     float64(n),
+			Label: fmt.Sprintf("%d", n),
+			Series: map[string]stats.Summary{
+				"F2 energy":     eF2.Summarize(),
+				"capped energy": eCap.Summarize(),
+			},
+			MissRate: map[string]float64{
+				"F2 energy":     missF2.Rate(),
+				"capped energy": missCap.Rate(),
+			},
+		})
+		if infeasible > 0 {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("n=%d: %d instances infeasible at f_max were excluded (no scheduler could serve them)", n, infeasible))
+		}
+	}
+	res.Notes = append(res.Notes,
+		"the capped variant trades a small energy premium for a guaranteed zero miss rate on feasible instances")
+	return res, nil
+}

@@ -1,0 +1,166 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+const idCustom = 90
+
+// CustomSweep is a user-defined experiment, decodable from JSON: a grid
+// over static power, dynamic exponent, core count and task count, each
+// point evaluated like the paper's figures (five NEC series against the
+// convex optimum). Singleton dimensions may be omitted; zero values fall
+// back to the paper's defaults.
+//
+// Example config:
+//
+//	{
+//	  "name": "my-sweep",
+//	  "cores": [2, 4],
+//	  "alpha": [3],
+//	  "p0": [0, 0.1, 0.2],
+//	  "tasks": [20],
+//	  "intensityLo": 0.1,
+//	  "intensityHi": 1.0
+//	}
+type CustomSweep struct {
+	Name        string    `json:"name"`
+	Cores       []int     `json:"cores"`
+	Alpha       []float64 `json:"alpha"`
+	P0          []float64 `json:"p0"`
+	Tasks       []int     `json:"tasks"`
+	IntensityLo float64   `json:"intensityLo"`
+	IntensityHi float64   `json:"intensityHi"`
+	ReleaseHi   float64   `json:"releaseHi"`
+	WorkLo      float64   `json:"workLo"`
+	WorkHi      float64   `json:"workHi"`
+}
+
+// withDefaults fills unset dimensions with the paper's standard values.
+func (c CustomSweep) withDefaults() CustomSweep {
+	if c.Name == "" {
+		c.Name = "custom"
+	}
+	if len(c.Cores) == 0 {
+		c.Cores = []int{4}
+	}
+	if len(c.Alpha) == 0 {
+		c.Alpha = []float64{3}
+	}
+	if len(c.P0) == 0 {
+		c.P0 = []float64{0.1}
+	}
+	if len(c.Tasks) == 0 {
+		c.Tasks = []int{20}
+	}
+	if c.IntensityLo == 0 {
+		c.IntensityLo = 0.1
+	}
+	if c.IntensityHi == 0 {
+		c.IntensityHi = 1.0
+	}
+	if c.ReleaseHi == 0 {
+		c.ReleaseHi = 200
+	}
+	if c.WorkLo == 0 {
+		c.WorkLo = 10
+	}
+	if c.WorkHi == 0 {
+		c.WorkHi = 30
+	}
+	return c
+}
+
+// Validate rejects inconsistent grids.
+func (c CustomSweep) Validate() error {
+	for _, m := range c.Cores {
+		if m <= 0 {
+			return fmt.Errorf("experiments: custom sweep core count %d invalid", m)
+		}
+	}
+	for _, a := range c.Alpha {
+		if a < 2 {
+			return fmt.Errorf("experiments: custom sweep alpha %g below 2", a)
+		}
+	}
+	for _, p := range c.P0 {
+		if p < 0 {
+			return fmt.Errorf("experiments: custom sweep p0 %g negative", p)
+		}
+	}
+	for _, n := range c.Tasks {
+		if n <= 0 {
+			return fmt.Errorf("experiments: custom sweep task count %d invalid", n)
+		}
+	}
+	if c.IntensityLo <= 0 || c.IntensityHi < c.IntensityLo {
+		return fmt.Errorf("experiments: custom sweep intensity range [%g, %g] invalid", c.IntensityLo, c.IntensityHi)
+	}
+	return nil
+}
+
+// ReadCustomSweep decodes a sweep definition from JSON.
+func ReadCustomSweep(r io.Reader) (CustomSweep, error) {
+	var c CustomSweep
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return CustomSweep{}, fmt.Errorf("experiments: custom sweep: %w", err)
+	}
+	c = c.withDefaults()
+	if err := c.Validate(); err != nil {
+		return CustomSweep{}, err
+	}
+	return c, nil
+}
+
+// RunCustom evaluates the sweep's full grid. Each grid point becomes one
+// result row labelled with its coordinates.
+func RunCustom(cfg Config, sweep CustomSweep) (*Result, error) {
+	sweep = sweep.withDefaults()
+	if err := sweep.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:          sweep.Name,
+		Title:       fmt.Sprintf("custom sweep %q", sweep.Name),
+		XLabel:      "m/α/p0/n",
+		SeriesOrder: SeriesNames,
+	}
+	point := 0
+	for _, m := range sweep.Cores {
+		for _, a := range sweep.Alpha {
+			for _, p0 := range sweep.P0 {
+				for _, n := range sweep.Tasks {
+					gp := task.GenParams{
+						N:           n,
+						ReleaseLo:   0,
+						ReleaseHi:   sweep.ReleaseHi,
+						WorkLo:      sweep.WorkLo,
+						WorkHi:      sweep.WorkHi,
+						IntensityLo: sweep.IntensityLo,
+						IntensityHi: sweep.IntensityHi,
+					}
+					gen := func(rng *rand.Rand) (task.Set, error) { return task.Generate(rng, gp) }
+					series, err := sweepPoint(cfg, idCustom, point, gen, m, power.Unit(a, p0))
+					if err != nil {
+						return nil, err
+					}
+					res.Points = append(res.Points, Point{
+						X:      float64(point),
+						Label:  fmt.Sprintf("m=%d α=%.1f p0=%.2f n=%d", m, a, p0, n),
+						Series: series,
+					})
+					point++
+				}
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestReadCustomSweep(t *testing.T) {
+	in := `{
+	  "name": "demo",
+	  "cores": [2, 4],
+	  "p0": [0, 0.2],
+	  "tasks": [10]
+	}`
+	c, err := ReadCustomSweep(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Name != "demo" || len(c.Cores) != 2 || len(c.P0) != 2 {
+		t.Errorf("decoded %+v", c)
+	}
+	// Defaults filled.
+	if len(c.Alpha) != 1 || c.Alpha[0] != 3 {
+		t.Errorf("alpha default missing: %+v", c.Alpha)
+	}
+	if c.IntensityHi != 1.0 || c.WorkHi != 30 {
+		t.Errorf("workload defaults missing: %+v", c)
+	}
+}
+
+func TestReadCustomSweepRejectsUnknownFields(t *testing.T) {
+	if _, err := ReadCustomSweep(strings.NewReader(`{"coresX": [2]}`)); err == nil {
+		t.Error("unknown field should fail")
+	}
+}
+
+func TestCustomSweepValidation(t *testing.T) {
+	bad := []CustomSweep{
+		{Cores: []int{0}},
+		{Alpha: []float64{1.5}},
+		{P0: []float64{-0.1}},
+		{Tasks: []int{-3}},
+		{IntensityLo: 2, IntensityHi: 1},
+	}
+	for i, c := range bad {
+		if err := c.withDefaults().Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, c)
+		}
+	}
+}
+
+func TestRunCustomGrid(t *testing.T) {
+	sweep := CustomSweep{
+		Name:  "grid",
+		Cores: []int{2, 4},
+		P0:    []float64{0, 0.1},
+		Tasks: []int{8},
+	}
+	res, err := RunCustom(tiny(), sweep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 2×2 grid", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if math.IsNaN(p.Series["F2"].Mean) || p.Series["F2"].Mean < 0.95 {
+			t.Errorf("%s: F2 = %v", p.Label, p.Series["F2"])
+		}
+		if !strings.Contains(p.Label, "m=") {
+			t.Errorf("label missing coordinates: %q", p.Label)
+		}
+	}
+}

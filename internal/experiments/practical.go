@@ -1,0 +1,194 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/discrete"
+	"repro/internal/feas"
+	"repro/internal/interval"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+// Table3 reproduces the Table III curve fit of Section VI.C: fitting
+// p(f) = γ·f^α + p0 to the Intel XScale frequency/power table. The paper
+// reports p(f) = 3.855e-6·f^2.867 + 63.58.
+func Table3(_ Config) (*Result, error) {
+	tab := power.IntelXScale()
+	fit, err := power.FitDefault(tab)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		ID:          "tab3",
+		Title:       "Intel XScale power table and fitted continuous model",
+		XLabel:      "frequency MHz",
+		SeriesOrder: []string{"measured", "fitted"},
+	}
+	for _, l := range tab.Levels() {
+		res.Points = append(res.Points, Point{
+			X:     l.Frequency,
+			Label: fmt.Sprintf("%.0f", l.Frequency),
+			Series: map[string]stats.Summary{
+				"measured": {N: 1, Mean: l.Power},
+				"fitted":   {N: 1, Mean: fit.Model.Power(l.Frequency)},
+			},
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("fit: %v (RMSE %.2f mW); paper reports p(f) = 3.855e-6·f^2.867 + 63.58", fit.Model, fit.RMSE))
+	return res, nil
+}
+
+// practicalNEC holds one replication's quantized energies (normalized by
+// the continuous E^opt of the fitted model) and miss indicators.
+type practicalNEC struct {
+	nec  NEC
+	miss [5]bool // Idl, I1, F1, I2, F2
+	// infeasible marks instances that no scheduler could serve at f_max
+	// (the max-flow feasibility test): a lower bound on any miss rate.
+	infeasible bool
+}
+
+// Fig11 reproduces Fig. 11: the practical XScale experiment. Workloads
+// use C ∈ [4000, 8000], releases on [0, 200] s, deadlines scaled by
+// f2 = 400 MHz; each approach's continuous schedule is quantized to the
+// XScale operating points (round-up) and its energy — measured with the
+// table's powers — is normalized by E^opt of the fitted continuous model.
+// The sweep is over the intensity range [lo, 1.0], and per-approach
+// deadline-miss probabilities are reported, reproducing the paper's
+// remark that I1/I2 miss significantly, F1 non-negligibly, and F2
+// negligibly.
+func Fig11(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	tab := power.IntelXScale()
+	fit, err := power.FitDefault(tab)
+	if err != nil {
+		return nil, err
+	}
+	pm := fit.Model
+	res := &Result{
+		ID:          "fig11",
+		Title:       "Practical XScale scheduling: quantized NEC and deadline-miss rates (m=4, n=20)",
+		XLabel:      "intensity lo",
+		SeriesOrder: SeriesNames,
+	}
+	for k := 0; k < 9; k++ {
+		lo := 0.1 * float64(k+1)
+		p := task.XScaleDefaults(20)
+		p.IntensityLo = lo
+		point, err := fig11Point(cfg, k, p, pm, tab)
+		if err != nil {
+			return nil, err
+		}
+		point.X = lo
+		point.Label = fmt.Sprintf("[%.1f,1.0]", lo)
+		res.Points = append(res.Points, *point)
+	}
+	res.Notes = append(res.Notes,
+		"energies use measured table powers; normalization uses the fitted continuous optimum",
+		"paper shape: quantized F2 stays closest to optimal with negligible miss probability")
+	return res, nil
+}
+
+func fig11Point(cfg Config, pointIdx int, gp task.GenParams, pm power.Model, tab *power.Table) (*Point, error) {
+	stream := stats.NewStream(cfg.Seed)
+	out := make([]practicalNEC, cfg.Replications)
+	errs := make([]error, cfg.Replications)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for rep := 0; rep < cfg.Replications; rep++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(rep int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rng := stream.Rand(idFig11, pointIdx, rep)
+			ts, err := task.Generate(rng, gp)
+			if err != nil {
+				errs[rep] = err
+				return
+			}
+			out[rep], errs[rep] = practicalInstance(ts, 4, pm, tab, cfg.Opt)
+		}(rep)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	var acc [5]stats.Accumulator
+	var miss [5]stats.MissRate
+	var infeas stats.MissRate
+	for _, o := range out {
+		vals := [5]float64{o.nec.Idl, o.nec.I1, o.nec.F1, o.nec.I2, o.nec.F2}
+		for s := 0; s < 5; s++ {
+			acc[s].Add(vals[s])
+			miss[s].Observe(o.miss[s])
+		}
+		infeas.Observe(o.infeasible)
+	}
+	pt := &Point{
+		Series:   map[string]stats.Summary{},
+		MissRate: map[string]float64{},
+	}
+	for s, name := range SeriesNames {
+		pt.Series[name] = acc[s].Summarize()
+		pt.MissRate[name] = miss[s].Rate()
+	}
+	// "infeasible" is the fraction of instances no scheduler could serve
+	// at f_max — the floor under every miss rate above.
+	pt.MissRate["infeasible"] = infeas.Rate()
+	return pt, nil
+}
+
+// practicalInstance quantizes all five approaches on one instance.
+func practicalInstance(ts task.Set, m int, pm power.Model, tab *power.Table, optOpts opt.Options) (practicalNEC, error) {
+	d, err := interval.Decompose(ts, 1e-9)
+	if err != nil {
+		return practicalNEC{}, err
+	}
+	sol, err := opt.Solve(d, m, pm, optOpts)
+	if err != nil {
+		return practicalNEC{}, err
+	}
+	suite, err := core.RunSuite(ts, m, pm, core.Options{Tolerance: 1e-9})
+	if err != nil {
+		return practicalNEC{}, err
+	}
+	even, err := discrete.Practical(suite.Even, tab, discrete.RoundUp)
+	if err != nil {
+		return practicalNEC{}, err
+	}
+	der, err := discrete.Practical(suite.DER, tab, discrete.RoundUp)
+	if err != nil {
+		return practicalNEC{}, err
+	}
+	feasOK, _, err := feas.Feasible(d, m, tab.MaxFrequency())
+	if err != nil {
+		return practicalNEC{}, err
+	}
+	e := sol.Energy
+	return practicalNEC{
+		infeasible: !feasOK,
+		nec: NEC{
+			Idl: even.Ideal.Energy / e,
+			I1:  even.Intermediate.Energy / e,
+			F1:  even.Final.Energy / e,
+			I2:  der.Intermediate.Energy / e,
+			F2:  der.Final.Energy / e,
+		},
+		miss: [5]bool{
+			even.Ideal.Missed,
+			even.Intermediate.Missed,
+			even.Final.Missed,
+			der.Intermediate.Missed,
+			der.Final.Missed,
+		},
+	}, nil
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func BenchmarkRunInstanceDefault(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	pm := power.Unit(3, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := runInstance(ts, 4, pm, Defaults().Opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Runner executes one registered experiment.
+type Runner func(Config) (*Result, error)
+
+// Descriptor describes one registered experiment for listings.
+type Descriptor struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+var registry = []Descriptor{
+	{"fig1", "YDS introductory example (Fig. 1 / Fig. 2a)", Fig1},
+	{"fig2b", "Motivational example optimal schedule (Fig. 2b, Section II KKT)", Fig2b},
+	{"fig3", "Static-power execution truncation (Fig. 3)", Fig3},
+	{"fig45", "Section V.D worked example (Fig. 4/5)", Fig45},
+	{"fig6", "NEC vs static power (Fig. 6)", Fig6},
+	{"fig7", "NEC vs dynamic exponent α (Fig. 7)", Fig7},
+	{"tab2", "NEC of F1/F2 over the (α, p0) grid (Table II)", Table2},
+	{"fig8", "NEC vs number of cores (Fig. 8)", Fig8},
+	{"fig9", "NEC vs intensity range (Fig. 9)", Fig9},
+	{"fig10", "NEC vs number of tasks (Fig. 10)", Fig10},
+	{"tab3", "Intel XScale power-model fit (Table III)", Table3},
+	{"fig11", "Practical XScale scheduling (Fig. 11)", Fig11},
+	{"fig11-stress", "Deadline-miss probabilities under load (Section VI.C)", Fig11Stress},
+	{"ablation-order", "Algorithm 2 DER processing order ablation", AblationOrder},
+	{"ablation-refine", "Final frequency refinement ablation", AblationRefine},
+	{"ablation-capsearch", "Core-count search ablation (Section VI.D)", AblationCoreSearch},
+	{"ablation-quantize", "Discrete quantization policy ablation", AblationQuantize},
+	{"ablation-split", "Two-level frequency splitting vs round-up", AblationSplit},
+	{"baseline-partition", "Migratory F2 vs partitioned FFD+YDS vs fixed-speed EDF", BaselinePartition},
+	{"baseline-online", "Offline F2 vs online event-driven re-planning", BaselineOnline},
+	{"baseline-governor", "Quantized F2 vs cpufreq-style governors", BaselineGovernor},
+	{"robustness", "F2 near-optimality on bursty and heavy-tailed workloads", Robustness},
+	{"ablation-bound", "Tightness of the Section V.B analytical bound", AblationBound},
+	{"extension-capped", "Cap-aware allocation vs plain F2 under load", ExtensionCapped},
+	{"extension-hetero", "Leakage-aware core assignment on heterogeneous cores", ExtensionHetero},
+}
+
+// All returns the registered experiments in presentation order.
+func All() []Descriptor {
+	out := make([]Descriptor, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// IDs returns the sorted experiment identifiers.
+func IDs() []string {
+	ids := make([]string, len(registry))
+	for i, d := range registry {
+		ids[i] = d.ID
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Descriptor, error) {
+	for _, d := range registry {
+		if d.ID == id {
+			return d, nil
+		}
+	}
+	return Descriptor{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, cfg Config) (*Result, error) {
+	d, err := Lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	return d.Run(cfg)
+}

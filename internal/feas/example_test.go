@@ -1,0 +1,43 @@
+package feas_test
+
+import (
+	"fmt"
+
+	"repro/internal/feas"
+	"repro/internal/interval"
+	"repro/internal/task"
+)
+
+// Schedulability of the paper's Fig. 1 instance on a uniprocessor: the
+// max-flow test localizes the threshold at the peak interval intensity 1.
+func ExampleFeasible() {
+	d, err := interval.Decompose(task.Fig1Example(), 0)
+	if err != nil {
+		panic(err)
+	}
+	for _, speed := range []float64{0.9, 1.0} {
+		ok, _, err := feas.Feasible(d, 1, speed)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("speed %.1f feasible: %v\n", speed, ok)
+	}
+	// Output:
+	// speed 0.9 feasible: false
+	// speed 1.0 feasible: true
+}
+
+// MinSpeed bisects to the exact threshold.
+func ExampleMinSpeed() {
+	d, err := interval.Decompose(task.Fig1Example(), 0)
+	if err != nil {
+		panic(err)
+	}
+	s, _, err := feas.MinSpeed(d, 1, 1e-9)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("minimal feasible speed: %.3f\n", s)
+	// Output:
+	// minimal feasible speed: 1.000
+}

@@ -1,0 +1,274 @@
+// Package governor simulates OS-style DVFS governors — the frequency
+// policies practical systems actually ship (cpufreq's "ondemand",
+// "conservative", and "performance") — as additional baselines for the
+// paper's offline algorithms. The governor observes core utilization
+// over fixed sampling periods and moves each core's frequency along the
+// discrete operating-point table; tasks are dispatched by global EDF.
+//
+// Unlike the paper's schedulers, a governor is deadline-oblivious: it
+// reacts to load alone. Comparing its energy and miss rate against the
+// DER-based final schedule quantifies what deadline-aware planning buys
+// over reactive scaling.
+package governor
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Policy selects the governor flavor.
+type Policy int
+
+const (
+	// Performance pins every core at the maximum frequency.
+	Performance Policy = iota
+	// Ondemand jumps to the maximum frequency when utilization exceeds
+	// UpThreshold and drops directly to the lowest frequency that would
+	// have covered the observed load otherwise.
+	Ondemand
+	// Conservative steps one operating point up or down at a time.
+	Conservative
+)
+
+func (p Policy) String() string {
+	switch p {
+	case Performance:
+		return "performance"
+	case Ondemand:
+		return "ondemand"
+	case Conservative:
+		return "conservative"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Config parameterizes the simulation.
+type Config struct {
+	Policy Policy
+	// SamplePeriod is the governor's evaluation interval (same time unit
+	// as the task set). Must be positive.
+	SamplePeriod float64
+	// UpThreshold is the busy fraction above which the governor raises
+	// frequency (default 0.8, matching cpufreq's ondemand default).
+	UpThreshold float64
+	// DownThreshold is the busy fraction below which Conservative steps
+	// down (default 0.2).
+	DownThreshold float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.UpThreshold <= 0 || c.UpThreshold > 1 {
+		c.UpThreshold = 0.8
+	}
+	if c.DownThreshold <= 0 || c.DownThreshold >= c.UpThreshold {
+		c.DownThreshold = 0.2
+	}
+	return c
+}
+
+// Result is the outcome of a governed execution.
+type Result struct {
+	// Schedule holds the realized segments (frequencies are table
+	// levels). Segments of missed tasks may extend past deadlines.
+	Schedule *schedule.Schedule
+	// Energy under the table's measured powers.
+	Energy float64
+	// MissedTasks lists tasks finishing after their deadline (or never).
+	MissedTasks []int
+	// FreqChanges counts operating-point transitions across all cores.
+	FreqChanges int
+}
+
+// Run simulates the task set on m cores with the given table and
+// governor configuration. Dispatching is global EDF: at every event the
+// ≤ m ready unfinished tasks with earliest deadlines run, each on one
+// core at that core's current governor frequency.
+func Run(ts task.Set, m int, tab *power.Table, cfg Config) (*Result, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("governor: need at least one core, have %d", m)
+	}
+	if !(cfg.SamplePeriod > 0) {
+		return nil, fmt.Errorf("governor: sample period %g must be positive", cfg.SamplePeriod)
+	}
+	cfg = cfg.withDefaults()
+
+	remaining := make([]float64, len(ts))
+	completion := make([]float64, len(ts))
+	for i, tk := range ts {
+		remaining[i] = tk.Work
+		completion[i] = math.NaN()
+	}
+	// Per-core governor state.
+	levelIdx := make([]int, m) // index into the table
+	busy := make([]float64, m) // busy time in the current sample window
+	top := tab.Len() - 1
+	for k := range levelIdx {
+		if cfg.Policy == Performance {
+			levelIdx[k] = top
+		}
+	}
+
+	out := schedule.New(ts, m)
+	var energy float64
+	freqChanges := 0
+
+	releases := distinctReleases(ts)
+	t := releases[0]
+	windowEnd := t + cfg.SamplePeriod
+	const eps = 1e-9
+
+	for iter := 0; ; iter++ {
+		if iter > 4*len(ts)*(len(releases)+4)*4096 {
+			return nil, fmt.Errorf("governor: simulation did not terminate")
+		}
+		// Ready tasks by EDF.
+		var ready []int
+		for i, tk := range ts {
+			if tk.Release <= t+eps && remaining[i] > eps {
+				ready = append(ready, i)
+			}
+		}
+		if len(ready) == 0 {
+			nxt, ok := nextRelease(releases, t)
+			if !ok {
+				break
+			}
+			// Idle until the next release; sample windows elapse with
+			// zero utilization.
+			for windowEnd <= nxt {
+				governStep(tab, cfg, levelIdx, busy, windowEnd-cfg.SamplePeriod, &freqChanges)
+				windowEnd += cfg.SamplePeriod
+			}
+			t = nxt
+			continue
+		}
+		sort.SliceStable(ready, func(a, b int) bool {
+			if ts[ready[a]].Deadline != ts[ready[b]].Deadline {
+				return ts[ready[a]].Deadline < ts[ready[b]].Deadline
+			}
+			return ready[a] < ready[b]
+		})
+		running := ready
+		if len(running) > m {
+			running = running[:m]
+		}
+		// Next event: release, window boundary, or a completion at the
+		// current frequencies.
+		tNext := windowEnd
+		if nxt, ok := nextRelease(releases, t); ok && nxt < tNext {
+			tNext = nxt
+		}
+		for slot, i := range running {
+			f := tab.Level(levelIdx[slot]).Frequency
+			if c := t + remaining[i]/f; c < tNext {
+				tNext = c
+			}
+		}
+		if tNext <= t+eps {
+			tNext = t + eps*10 // guard against zero-length steps
+		}
+		for slot, i := range running {
+			lvl := tab.Level(levelIdx[slot])
+			e := math.Min(tNext, t+remaining[i]/lvl.Frequency)
+			if e <= t {
+				continue
+			}
+			out.Add(schedule.Segment{Task: i, Core: slot, Start: t, End: e, Frequency: lvl.Frequency})
+			energy += lvl.Power * (e - t)
+			busy[slot] += e - t
+			remaining[i] -= lvl.Frequency * (e - t)
+			if remaining[i] <= eps && math.IsNaN(completion[i]) {
+				completion[i] = e
+			}
+		}
+		t = tNext
+		if t >= windowEnd-eps {
+			governStep(tab, cfg, levelIdx, busy, windowEnd-cfg.SamplePeriod, &freqChanges)
+			windowEnd += cfg.SamplePeriod
+		}
+	}
+
+	res := &Result{Schedule: out, Energy: energy, FreqChanges: freqChanges}
+	for i, tk := range ts {
+		if remaining[i] > 1e-6*math.Max(1, tk.Work) {
+			res.MissedTasks = append(res.MissedTasks, i)
+			continue
+		}
+		if c := completion[i]; !math.IsNaN(c) && c > tk.Deadline+1e-9 {
+			res.MissedTasks = append(res.MissedTasks, i)
+		}
+	}
+	return res, nil
+}
+
+// governStep applies the policy at a sample-window boundary and resets
+// the busy counters.
+func governStep(tab *power.Table, cfg Config, levelIdx []int, busy []float64, _ float64, freqChanges *int) {
+	top := tab.Len() - 1
+	for k := range levelIdx {
+		util := busy[k] / cfg.SamplePeriod
+		busy[k] = 0
+		prev := levelIdx[k]
+		switch cfg.Policy {
+		case Performance:
+			levelIdx[k] = top
+		case Ondemand:
+			if util > cfg.UpThreshold {
+				levelIdx[k] = top
+			} else {
+				// Drop to the lowest level covering the observed load
+				// with the up-threshold headroom (cpufreq's
+				// "proportional" drop).
+				need := util * tab.Level(levelIdx[k]).Frequency / cfg.UpThreshold
+				idx := 0
+				for idx < top && tab.Level(idx).Frequency < need {
+					idx++
+				}
+				levelIdx[k] = idx
+			}
+		case Conservative:
+			if util > cfg.UpThreshold && levelIdx[k] < top {
+				levelIdx[k]++
+			} else if util < cfg.DownThreshold && levelIdx[k] > 0 {
+				levelIdx[k]--
+			}
+		}
+		if levelIdx[k] != prev {
+			*freqChanges++
+		}
+	}
+}
+
+func distinctReleases(ts task.Set) []float64 {
+	rs := make([]float64, 0, len(ts))
+	for _, tk := range ts {
+		rs = append(rs, tk.Release)
+	}
+	sort.Float64s(rs)
+	out := rs[:0]
+	for _, r := range rs {
+		if len(out) == 0 || r > out[len(out)-1]+1e-12 {
+			out = append(out, r)
+		}
+	}
+	cp := make([]float64, len(out))
+	copy(cp, out)
+	return cp
+}
+
+func nextRelease(releases []float64, t float64) (float64, bool) {
+	idx := sort.SearchFloat64s(releases, t+1e-12)
+	if idx >= len(releases) {
+		return 0, false
+	}
+	return releases[idx], true
+}

@@ -1,0 +1,208 @@
+package governor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func xscale() *power.Table { return power.IntelXScale() }
+
+func TestPerformanceGovernorRunsAtMax(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 4000, 100})
+	res, err := Run(ts, 1, xscale(), Config{Policy: Performance, SamplePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range res.Schedule.Segments {
+		if seg.Frequency != 1000 {
+			t.Errorf("performance governor ran at %g", seg.Frequency)
+		}
+	}
+	if len(res.MissedTasks) != 0 {
+		t.Errorf("missed %v", res.MissedTasks)
+	}
+	// 4000 Mcycles at 1000 MHz = 4 s at 1600 mW.
+	if math.Abs(res.Energy-6400) > 1e-6 {
+		t.Errorf("energy = %g, want 6400", res.Energy)
+	}
+}
+
+func TestOndemandRampsUpUnderLoad(t *testing.T) {
+	// A tight task: needs 900 MHz sustained. Ondemand starts at the
+	// lowest level, sees saturation, and jumps to the top.
+	ts := task.MustNew([3]float64{0, 9000, 11})
+	res, err := Run(ts, 1, xscale(), Config{Policy: Ondemand, SamplePeriod: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawTop bool
+	for _, seg := range res.Schedule.Segments {
+		if seg.Frequency == 1000 {
+			sawTop = true
+		}
+	}
+	if !sawTop {
+		t.Error("ondemand never reached the top frequency under saturation")
+	}
+}
+
+func TestOndemandDropsWhenIdle(t *testing.T) {
+	// Light periodic-ish load: two small tasks far apart. After the
+	// first completes, windows with low utilization must bring the
+	// frequency down before the second task.
+	ts := task.MustNew(
+		[3]float64{0, 150, 50}, // trivial load
+		[3]float64{100, 150, 150},
+	)
+	res, err := Run(ts, 1, xscale(), Config{Policy: Ondemand, SamplePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second task's segments should run at the lowest level (150):
+	// required rate is 3 MHz-equivalent, far below any threshold.
+	for _, seg := range res.Schedule.Segments {
+		if seg.Start >= 100 && seg.Frequency > 150 {
+			t.Errorf("segment %v should run at the bottom level", seg)
+		}
+	}
+	if len(res.MissedTasks) != 0 {
+		t.Errorf("missed %v", res.MissedTasks)
+	}
+}
+
+func TestConservativeStepsOneLevel(t *testing.T) {
+	// Saturating load: conservative must walk up one level per window.
+	ts := task.MustNew([3]float64{0, 20000, 60})
+	res, err := Run(ts, 1, xscale(), Config{Policy: Conservative, SamplePeriod: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Frequencies observed in time order must increase by at most one
+	// level at a time.
+	tab := xscale()
+	idxOf := map[float64]int{}
+	for i := 0; i < tab.Len(); i++ {
+		idxOf[tab.Level(i).Frequency] = i
+	}
+	prev := -1
+	for _, seg := range res.Schedule.Segments {
+		cur := idxOf[seg.Frequency]
+		if prev >= 0 && cur > prev+1 {
+			t.Errorf("conservative jumped from level %d to %d", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestGovernorObliviousMissesTightDeadlines(t *testing.T) {
+	// A deadline requiring immediate full speed: reactive governors
+	// (starting at the lowest level) lose time ramping up and miss,
+	// while Performance makes it.
+	ts := task.MustNew([3]float64{0, 9900, 10}) // needs 990 MHz sustained
+	ond, err := Run(ts, 1, xscale(), Config{Policy: Conservative, SamplePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ond.MissedTasks) == 0 {
+		t.Error("conservative should miss a 990 MHz-sustained deadline from cold start")
+	}
+	perf, err := Run(ts, 1, xscale(), Config{Policy: Performance, SamplePeriod: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(perf.MissedTasks) != 0 {
+		t.Errorf("performance should meet it, missed %v", perf.MissedTasks)
+	}
+}
+
+func TestAllWorkCompletesEventually(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		ts := task.MustGenerate(rng, task.XScaleDefaults(10))
+		for _, pol := range []Policy{Performance, Ondemand, Conservative} {
+			res, err := Run(ts, 4, xscale(), Config{Policy: pol, SamplePeriod: 5})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, pol, err)
+			}
+			done := res.Schedule.CompletedWork()
+			for _, tk := range ts {
+				if done[tk.ID] < tk.Work*(1-1e-6) {
+					t.Errorf("trial %d %v: task %d completed %g of %g",
+						trial, pol, tk.ID, done[tk.ID], tk.Work)
+				}
+			}
+		}
+	}
+}
+
+func TestEnergyOrderingPerformanceVsOndemand(t *testing.T) {
+	// On light workloads ondemand must not burn more energy than
+	// performance (it only ever chooses lower-power levels).
+	rng := rand.New(rand.NewSource(11))
+	var perfTotal, ondTotal float64
+	for trial := 0; trial < 8; trial++ {
+		p := task.XScaleDefaults(8)
+		p.IntensityHi = 0.4 // light
+		ts := task.MustGenerate(rng, p)
+		perf, err := Run(ts, 4, xscale(), Config{Policy: Performance, SamplePeriod: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ond, err := Run(ts, 4, xscale(), Config{Policy: Ondemand, SamplePeriod: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		perfTotal += perf.Energy
+		ondTotal += ond.Energy
+	}
+	if ondTotal > perfTotal*1.05 {
+		t.Errorf("ondemand total %.0f worse than performance %.0f on light load", ondTotal, perfTotal)
+	}
+}
+
+func TestFreqChangesCounted(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 9000, 11})
+	res, err := Run(ts, 1, xscale(), Config{Policy: Ondemand, SamplePeriod: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FreqChanges == 0 {
+		t.Error("expected at least one frequency transition")
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 100, 10})
+	if _, err := Run(ts, 0, xscale(), Config{SamplePeriod: 1}); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := Run(ts, 1, xscale(), Config{SamplePeriod: 0}); err == nil {
+		t.Error("zero sample period should fail")
+	}
+	if _, err := Run(task.Set{}, 1, xscale(), Config{SamplePeriod: 1}); err == nil {
+		t.Error("empty set should fail")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if Performance.String() != "performance" || Ondemand.String() != "ondemand" ||
+		Conservative.String() != "conservative" || Policy(9).String() == "" {
+		t.Error("policy names changed")
+	}
+}
+
+func BenchmarkOndemand(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.XScaleDefaults(15))
+	tab := xscale()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(ts, 4, tab, Config{Policy: Ondemand, SamplePeriod: 5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package hetero extends the repository toward heterogeneous platforms —
+// the "new processor architectures" trend the paper's related-work survey
+// highlights. The model kept here is deliberately restricted so that the
+// paper's machinery remains exactly applicable: cores share the dynamic
+// power curve γ·f^α (so any schedule built for identical cores remains
+// collision-valid and work-complete), but differ in static power p0 —
+// the big.LITTLE situation where some cores leak more than others.
+//
+// Under that model a schedule's dynamic energy is assignment-invariant,
+// while its static energy is Σ_k p0_{π(k)}·busy_k for the mapping π of
+// virtual (schedule) cores onto physical cores. By the rearrangement
+// inequality the optimal π pairs the busiest virtual core with the least
+// leaky physical core: busy times sorted descending against static
+// powers sorted ascending. AssignCores implements exactly that, and
+// Energy accounts a schedule under a chosen mapping.
+package hetero
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/schedule"
+)
+
+// Platform is a set of cores sharing Gamma and Alpha but with per-core
+// static power.
+type Platform struct {
+	Gamma, Alpha float64
+	StaticPower  []float64 // per physical core, ≥ 0
+}
+
+// NewPlatform validates and builds a platform.
+func NewPlatform(gamma, alpha float64, staticPower ...float64) (*Platform, error) {
+	if !(gamma > 0) || !(alpha >= 2) {
+		return nil, fmt.Errorf("hetero: invalid dynamic curve γ=%g α=%g", gamma, alpha)
+	}
+	if len(staticPower) == 0 {
+		return nil, fmt.Errorf("hetero: need at least one core")
+	}
+	for i, p := range staticPower {
+		if p < 0 {
+			return nil, fmt.Errorf("hetero: core %d static power %g negative", i, p)
+		}
+	}
+	sp := make([]float64, len(staticPower))
+	copy(sp, staticPower)
+	return &Platform{Gamma: gamma, Alpha: alpha, StaticPower: sp}, nil
+}
+
+// Cores returns the core count.
+func (p *Platform) Cores() int { return len(p.StaticPower) }
+
+// UniformModel returns the homogeneous model with the platform's dynamic
+// curve and the given static power — used to drive the paper's pipeline
+// before the assignment step. A conservative choice is the mean static
+// power.
+func (p *Platform) UniformModel(p0 float64) power.Model {
+	return power.Model{Gamma: p.Gamma, Alpha: p.Alpha, P0: p0}
+}
+
+// MeanStaticPower returns the average leakage across cores.
+func (p *Platform) MeanStaticPower() float64 {
+	return numeric.Sum(p.StaticPower) / float64(len(p.StaticPower))
+}
+
+// Energy accounts a schedule on the platform under a given virtual→
+// physical mapping perm (perm[v] = physical core of virtual core v).
+// Dynamic energy uses the shared curve; static energy uses each physical
+// core's leakage over its busy time.
+func (p *Platform) Energy(s *schedule.Schedule, perm []int) (float64, error) {
+	if s.Cores > p.Cores() {
+		return 0, fmt.Errorf("hetero: schedule uses %d cores, platform has %d", s.Cores, p.Cores())
+	}
+	if len(perm) != s.Cores {
+		return 0, fmt.Errorf("hetero: permutation length %d != schedule cores %d", len(perm), s.Cores)
+	}
+	seen := map[int]bool{}
+	for _, ph := range perm {
+		if ph < 0 || ph >= p.Cores() || seen[ph] {
+			return 0, fmt.Errorf("hetero: invalid permutation %v", perm)
+		}
+		seen[ph] = true
+	}
+	dyn := power.Model{Gamma: p.Gamma, Alpha: p.Alpha, P0: 0}
+	var k numeric.KahanSum
+	for _, seg := range s.Segments {
+		k.Add(dyn.EnergyForTime(seg.Duration(), seg.Frequency))
+		k.Add(p.StaticPower[perm[seg.Core]] * seg.Duration())
+	}
+	return k.Value(), nil
+}
+
+// AssignCores returns the energy-minimal virtual→physical mapping for the
+// schedule: virtual cores sorted by busy time descending are paired with
+// physical cores sorted by static power ascending (rearrangement
+// inequality — any swap can only increase Σ p0·busy).
+func (p *Platform) AssignCores(s *schedule.Schedule) ([]int, error) {
+	if s.Cores > p.Cores() {
+		return nil, fmt.Errorf("hetero: schedule uses %d cores, platform has %d", s.Cores, p.Cores())
+	}
+	busy := make([]float64, s.Cores)
+	for _, seg := range s.Segments {
+		if seg.Core >= 0 && seg.Core < s.Cores {
+			busy[seg.Core] += seg.Duration()
+		}
+	}
+	virt := argsortDesc(busy)
+	phys := argsortAsc(p.StaticPower)
+	perm := make([]int, s.Cores)
+	for i, v := range virt {
+		perm[v] = phys[i]
+	}
+	return perm, nil
+}
+
+// IdentityPerm returns the trivial mapping 0..n-1, the baseline the
+// assignment is compared against.
+func IdentityPerm(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func argsortDesc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] > v[idx[b]] })
+	return idx
+}
+
+func argsortAsc(v []float64) []int {
+	idx := make([]int, len(v))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return v[idx[a]] < v[idx[b]] })
+	return idx
+}

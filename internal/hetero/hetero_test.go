@@ -1,0 +1,189 @@
+package hetero
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func platform(t *testing.T, p0s ...float64) *Platform {
+	t.Helper()
+	p, err := NewPlatform(1, 3, p0s...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlatformValidation(t *testing.T) {
+	if _, err := NewPlatform(0, 3, 0.1); err == nil {
+		t.Error("zero gamma should fail")
+	}
+	if _, err := NewPlatform(1, 1.5, 0.1); err == nil {
+		t.Error("alpha below 2 should fail")
+	}
+	if _, err := NewPlatform(1, 3); err == nil {
+		t.Error("no cores should fail")
+	}
+	if _, err := NewPlatform(1, 3, -0.1); err == nil {
+		t.Error("negative leakage should fail")
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	p := platform(t, 0.1, 0.4)
+	ts := task.MustNew([3]float64{0, 2, 10}, [3]float64{0, 2, 10})
+	s := schedule.New(ts, 2)
+	s.Add(schedule.Segment{Task: 0, Core: 0, Start: 0, End: 4, Frequency: 0.5})
+	s.Add(schedule.Segment{Task: 1, Core: 1, Start: 0, End: 2, Frequency: 1})
+	// Identity: core 0 (busy 4) on p0=0.1; core 1 (busy 2) on p0=0.4.
+	e, err := p.Energy(s, IdentityPerm(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDyn := math.Pow(0.5, 3)*4 + math.Pow(1, 3)*2
+	wantStatic := 0.1*4 + 0.4*2
+	if math.Abs(e-(wantDyn+wantStatic)) > 1e-12 {
+		t.Errorf("energy = %g, want %g", e, wantDyn+wantStatic)
+	}
+}
+
+func TestAssignCoresRearrangement(t *testing.T) {
+	// Busy times 4 and 2; static powers 0.4 and 0.1. Optimal pairs the
+	// busier virtual core with the smaller leakage.
+	p := platform(t, 0.4, 0.1)
+	ts := task.MustNew([3]float64{0, 2, 10}, [3]float64{0, 2, 10})
+	s := schedule.New(ts, 2)
+	s.Add(schedule.Segment{Task: 0, Core: 0, Start: 0, End: 4, Frequency: 0.5})
+	s.Add(schedule.Segment{Task: 1, Core: 1, Start: 0, End: 2, Frequency: 1})
+	perm, err := p.AssignCores(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 1 || perm[1] != 0 {
+		t.Errorf("perm = %v, want busiest→least-leaky", perm)
+	}
+	eOpt, err := p.Energy(s, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eId, err := p.Energy(s, IdentityPerm(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eOpt > eId {
+		t.Errorf("assignment %g worse than identity %g", eOpt, eId)
+	}
+	// Exact static difference: (0.4−0.1)·(4−2) = 0.6.
+	if math.Abs((eId-eOpt)-0.6) > 1e-12 {
+		t.Errorf("saving = %g, want 0.6", eId-eOpt)
+	}
+}
+
+func TestAssignmentOptimalOverAllPermutations(t *testing.T) {
+	// Brute-force all 3! mappings of a three-core schedule; AssignCores
+	// must match the minimum.
+	p := platform(t, 0.05, 0.2, 0.5)
+	rng := rand.New(rand.NewSource(7))
+	ts := task.MustGenerate(rng, task.PaperDefaults(12))
+	res := core.MustSchedule(ts, 3, p.UniformModel(p.MeanStaticPower()), alloc.DER, core.Options{Tolerance: 1e-9})
+	perm, err := p.AssignCores(res.Final)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p.Energy(res.Final, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := math.Inf(1)
+	perms := [][]int{{0, 1, 2}, {0, 2, 1}, {1, 0, 2}, {1, 2, 0}, {2, 0, 1}, {2, 1, 0}}
+	for _, pm := range perms {
+		e, err := p.Energy(res.Final, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e < best {
+			best = e
+		}
+	}
+	if math.Abs(got-best) > 1e-9 {
+		t.Errorf("AssignCores %g != brute-force optimum %g", got, best)
+	}
+}
+
+func TestDynamicEnergyAssignmentInvariant(t *testing.T) {
+	// With zero leakage everywhere, all mappings cost the same.
+	p := platform(t, 0, 0, 0)
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.PaperDefaults(8))
+	res := core.MustSchedule(ts, 3, p.UniformModel(0), alloc.DER, core.Options{Tolerance: 1e-9})
+	e1, err := p.Energy(res.Final, IdentityPerm(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := p.Energy(res.Final, []int{2, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Errorf("dynamic energy changed under permutation: %g vs %g", e1, e2)
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	p := platform(t, 0.1, 0.2)
+	ts := task.MustNew([3]float64{0, 1, 10})
+	s := schedule.New(ts, 2)
+	s.Add(schedule.Segment{Task: 0, Core: 0, Start: 0, End: 1, Frequency: 1})
+	if _, err := p.Energy(s, []int{0}); err == nil {
+		t.Error("short permutation should fail")
+	}
+	if _, err := p.Energy(s, []int{0, 0}); err == nil {
+		t.Error("duplicate mapping should fail")
+	}
+	if _, err := p.Energy(s, []int{0, 5}); err == nil {
+		t.Error("out-of-range mapping should fail")
+	}
+	s3 := schedule.New(ts, 3)
+	if _, err := p.Energy(s3, IdentityPerm(3)); err == nil {
+		t.Error("too many schedule cores should fail")
+	}
+	if _, err := p.AssignCores(s3); err == nil {
+		t.Error("AssignCores with too many cores should fail")
+	}
+}
+
+func TestEndToEndHeteroPipeline(t *testing.T) {
+	// The intended usage: schedule with the mean-leakage uniform model,
+	// then assign cores; the assigned energy is never worse than a random
+	// mapping, across trials.
+	rng := rand.New(rand.NewSource(11))
+	p := platform(t, 0.02, 0.1, 0.3, 0.6)
+	pm := p.UniformModel(p.MeanStaticPower())
+	for trial := 0; trial < 10; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		res := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+		perm, err := p.AssignCores(res.Final)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eOpt, err := p.Energy(res.Final, perm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shuffled := IdentityPerm(4)
+		rng.Shuffle(4, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		eRand, err := p.Energy(res.Final, shuffled)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eOpt > eRand+1e-9 {
+			t.Errorf("trial %d: assigned %g worse than random %g", trial, eOpt, eRand)
+		}
+	}
+}

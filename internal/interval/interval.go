@@ -1,0 +1,184 @@
+// Package interval implements the subinterval decomposition at the heart
+// of the paper's approach (Section IV): the time axis between the earliest
+// release R̄ and the latest deadline D̄ is cut at every distinct release
+// time and deadline into N−1 subintervals, and each subinterval is
+// classified by how many tasks overlap it relative to the core count.
+package interval
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/task"
+)
+
+// Subinterval is one cell [Start, End] of the decomposition, together with
+// the overlap analysis against a fixed task set.
+type Subinterval struct {
+	// Index is the position j of the subinterval, 0-based.
+	Index int
+	// Start and End delimit the subinterval [t_j, t_{j+1}].
+	Start, End float64
+	// Overlapping lists the IDs of tasks whose window [R_i, D_i] contains
+	// the whole subinterval, in ascending ID order ("overlapping tasks
+	// during a subinterval", Section IV.B).
+	Overlapping []int
+}
+
+// Length returns End − Start.
+func (s Subinterval) Length() float64 { return s.End - s.Start }
+
+// Count returns n_j, the number of overlapping tasks.
+func (s Subinterval) Count() int { return len(s.Overlapping) }
+
+// HeavyFor reports whether the subinterval is heavily overlapped for an
+// m-core processor: n_j > m.
+func (s Subinterval) HeavyFor(m int) bool { return len(s.Overlapping) > m }
+
+// Capacity returns the total core time available during the subinterval on
+// m cores: m·(t_{j+1} − t_j).
+func (s Subinterval) Capacity(m int) float64 { return float64(m) * s.Length() }
+
+func (s Subinterval) String() string {
+	return fmt.Sprintf("[%g, %g] n_j=%d", s.Start, s.End, len(s.Overlapping))
+}
+
+// Decomposition is the full subinterval structure for a task set.
+type Decomposition struct {
+	// Tasks is the task set the decomposition was built from.
+	Tasks task.Set
+	// Points are the boundaries t_1 < ... < t_N.
+	Points []float64
+	// Subs are the N−1 subintervals in time order.
+	Subs []Subinterval
+
+	// eligible[i][j] reports whether subinterval j lies inside task i's
+	// window — the x_{i,j} ≠ 0 pattern of Eq. (13).
+	eligible [][]bool
+	// subsOf[i] lists the eligible subinterval indices of task i.
+	subsOf [][]int
+}
+
+// Decompose builds the decomposition. Boundary values closer than tol are
+// merged (tol <= 0 means exact distinctness; pass a small epsilon for
+// float-generated workloads).
+func Decompose(ts task.Set, tol float64) (*Decomposition, error) {
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	pts := ts.TimePoints(tol)
+	if len(pts) < 2 {
+		return nil, fmt.Errorf("interval: degenerate decomposition with %d points", len(pts))
+	}
+	d := &Decomposition{
+		Tasks:    ts,
+		Points:   pts,
+		Subs:     make([]Subinterval, len(pts)-1),
+		eligible: make([][]bool, len(ts)),
+		subsOf:   make([][]int, len(ts)),
+	}
+	for i := range d.eligible {
+		d.eligible[i] = make([]bool, len(pts)-1)
+	}
+	for j := 0; j < len(pts)-1; j++ {
+		sub := Subinterval{Index: j, Start: pts[j], End: pts[j+1]}
+		for _, t := range ts {
+			// With merged boundaries a task window may start/end strictly
+			// inside a subinterval only by less than tol; treat the task
+			// as overlapping when its window covers the midpoint-snapped
+			// boundaries.
+			if t.Release <= sub.Start+tol && sub.End-tol <= t.Deadline {
+				sub.Overlapping = append(sub.Overlapping, t.ID)
+				d.eligible[t.ID][j] = true
+				d.subsOf[t.ID] = append(d.subsOf[t.ID], j)
+			}
+		}
+		d.Subs[j] = sub
+	}
+	return d, nil
+}
+
+// MustDecompose is Decompose but panics on error.
+func MustDecompose(ts task.Set, tol float64) *Decomposition {
+	d, err := Decompose(ts, tol)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// NumSubs returns the number of subintervals (N−1).
+func (d *Decomposition) NumSubs() int { return len(d.Subs) }
+
+// Eligible reports whether task i may execute during subinterval j.
+func (d *Decomposition) Eligible(i, j int) bool { return d.eligible[i][j] }
+
+// SubsOf returns the indices of the subintervals inside task i's window,
+// in time order. The returned slice must not be modified.
+func (d *Decomposition) SubsOf(i int) []int { return d.subsOf[i] }
+
+// Heavy returns the indices of the heavily overlapped subintervals for m
+// cores (n_j > m), in time order.
+func (d *Decomposition) Heavy(m int) []int {
+	var out []int
+	for j, s := range d.Subs {
+		if s.HeavyFor(m) {
+			out = append(out, j)
+		}
+	}
+	return out
+}
+
+// MaxOverlap returns max_j n_j, the peak number of concurrently feasible
+// tasks (the n^max of the S^I1 energy bound).
+func (d *Decomposition) MaxOverlap() int {
+	var m int
+	for _, s := range d.Subs {
+		if s.Count() > m {
+			m = s.Count()
+		}
+	}
+	return m
+}
+
+// Locate returns the subinterval index containing time t (boundaries
+// belong to the subinterval on their right, except t = D̄ which belongs to
+// the last). ok is false when t is outside [R̄, D̄].
+func (d *Decomposition) Locate(t float64) (int, bool) {
+	pts := d.Points
+	if t < pts[0] || t > pts[len(pts)-1] {
+		return 0, false
+	}
+	if t == pts[len(pts)-1] {
+		return len(d.Subs) - 1, true
+	}
+	// First boundary strictly greater than t, minus one.
+	j := sort.SearchFloat64s(pts, t)
+	if j < len(pts) && pts[j] == t {
+		return j, true
+	}
+	return j - 1, true
+}
+
+// OverlapLength returns |[lo,hi] ∩ [Start,End]|, the overlap between an
+// arbitrary interval and subinterval j.
+func (d *Decomposition) OverlapLength(j int, lo, hi float64) float64 {
+	s := d.Subs[j]
+	a := lo
+	if s.Start > a {
+		a = s.Start
+	}
+	b := hi
+	if s.End < b {
+		b = s.End
+	}
+	if b <= a {
+		return 0
+	}
+	return b - a
+}
+
+// TotalLength returns D̄ − R̄.
+func (d *Decomposition) TotalLength() float64 {
+	return d.Points[len(d.Points)-1] - d.Points[0]
+}

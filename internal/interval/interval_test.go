@@ -1,0 +1,242 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+func TestDecomposeFig1(t *testing.T) {
+	d := MustDecompose(task.Fig1Example(), 0)
+	wantPoints := []float64{0, 2, 4, 8, 10, 12}
+	if len(d.Points) != len(wantPoints) {
+		t.Fatalf("points = %v", d.Points)
+	}
+	for i, p := range wantPoints {
+		if d.Points[i] != p {
+			t.Errorf("point %d = %g, want %g", i, d.Points[i], p)
+		}
+	}
+	if d.NumSubs() != 5 {
+		t.Fatalf("NumSubs = %d, want 5", d.NumSubs())
+	}
+	// Overlap counts per subinterval: [0,2]:τ1 → 1; [2,4]:τ1,τ2 → 2;
+	// [4,8]: all three → 3; [8,10]: τ1,τ2 → 2; [10,12]: τ1 → 1.
+	wantCounts := []int{1, 2, 3, 2, 1}
+	for j, s := range d.Subs {
+		if s.Count() != wantCounts[j] {
+			t.Errorf("sub %d count = %d, want %d", j, s.Count(), wantCounts[j])
+		}
+	}
+}
+
+func TestDecomposeSectionVD(t *testing.T) {
+	// Paper: 12 distinct values of R_i and D_i → 11 subintervals with
+	// boundaries 0, 2, ..., 22; only [8,10] and [12,14] are heavily
+	// overlapped on 4 cores (5 overlapping tasks each).
+	d := MustDecompose(task.SectionVDExample(), 0)
+	if d.NumSubs() != 11 {
+		t.Fatalf("NumSubs = %d, want 11", d.NumSubs())
+	}
+	for j, s := range d.Subs {
+		if s.Start != float64(2*j) || s.End != float64(2*j+2) {
+			t.Errorf("sub %d = [%g,%g], want [%d,%d]", j, s.Start, s.End, 2*j, 2*j+2)
+		}
+	}
+	heavy := d.Heavy(4)
+	if len(heavy) != 2 || heavy[0] != 4 || heavy[1] != 6 {
+		t.Fatalf("Heavy(4) = %v, want [4 6] (subintervals [8,10] and [12,14])", heavy)
+	}
+	// [8,10] overlaps τ1..τ5 (IDs 0..4); [12,14] overlaps τ2..τ6 (1..5).
+	want810 := []int{0, 1, 2, 3, 4}
+	for i, id := range d.Subs[4].Overlapping {
+		if id != want810[i] {
+			t.Errorf("[8,10] overlapping = %v", d.Subs[4].Overlapping)
+			break
+		}
+	}
+	want1214 := []int{1, 2, 3, 4, 5}
+	for i, id := range d.Subs[6].Overlapping {
+		if id != want1214[i] {
+			t.Errorf("[12,14] overlapping = %v", d.Subs[6].Overlapping)
+			break
+		}
+	}
+	// Heavy for 5 cores: none.
+	if got := d.Heavy(5); len(got) != 0 {
+		t.Errorf("Heavy(5) = %v, want none", got)
+	}
+	if got := d.MaxOverlap(); got != 5 {
+		t.Errorf("MaxOverlap = %d, want 5", got)
+	}
+}
+
+func TestEligibilityMatchesWindows(t *testing.T) {
+	d := MustDecompose(task.SectionVDExample(), 0)
+	for _, tk := range d.Tasks {
+		for j, s := range d.Subs {
+			want := tk.Release <= s.Start && s.End <= tk.Deadline
+			if got := d.Eligible(tk.ID, j); got != want {
+				t.Errorf("Eligible(%d,%d) = %v, want %v", tk.ID, j, got, want)
+			}
+		}
+	}
+}
+
+func TestSubsOfContiguous(t *testing.T) {
+	// A task's eligible subintervals must form a contiguous run covering
+	// exactly its window.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(12))
+		d := MustDecompose(ts, 0)
+		for _, tk := range ts {
+			subs := d.SubsOf(tk.ID)
+			if len(subs) == 0 {
+				t.Fatalf("task %d has no eligible subintervals", tk.ID)
+			}
+			for k := 1; k < len(subs); k++ {
+				if subs[k] != subs[k-1]+1 {
+					t.Fatalf("task %d eligible subs not contiguous: %v", tk.ID, subs)
+				}
+			}
+			if d.Subs[subs[0]].Start != tk.Release {
+				t.Errorf("task %d first eligible sub starts %g, release %g",
+					tk.ID, d.Subs[subs[0]].Start, tk.Release)
+			}
+			if d.Subs[subs[len(subs)-1]].End != tk.Deadline {
+				t.Errorf("task %d last eligible sub ends %g, deadline %g",
+					tk.ID, d.Subs[subs[len(subs)-1]].End, tk.Deadline)
+			}
+		}
+	}
+}
+
+func TestDecomposePartition(t *testing.T) {
+	// Subintervals partition [R̄, D̄] exactly.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := task.MustGenerate(rng, task.PaperDefaults(10))
+		d := MustDecompose(ts, 0)
+		lo, hi := ts.Span()
+		if d.Points[0] != lo || d.Points[len(d.Points)-1] != hi {
+			return false
+		}
+		var sum float64
+		for _, s := range d.Subs {
+			if s.Length() <= 0 {
+				return false
+			}
+			sum += s.Length()
+		}
+		return math.Abs(sum-d.TotalLength()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHeavyMonotoneInCores(t *testing.T) {
+	// More cores can only shrink the set of heavy subintervals.
+	rng := rand.New(rand.NewSource(9))
+	ts := task.MustGenerate(rng, task.PaperDefaults(25))
+	d := MustDecompose(ts, 0)
+	prev := len(d.Heavy(1))
+	for m := 2; m <= 12; m++ {
+		cur := len(d.Heavy(m))
+		if cur > prev {
+			t.Fatalf("Heavy(%d)=%d > Heavy(%d)=%d", m, cur, m-1, prev)
+		}
+		prev = cur
+	}
+	if got := len(d.Heavy(len(ts))); got != 0 {
+		t.Errorf("with m = n there can be no heavy subinterval, got %d", got)
+	}
+}
+
+func TestLocate(t *testing.T) {
+	d := MustDecompose(task.Fig1Example(), 0)
+	cases := []struct {
+		t    float64
+		want int
+		ok   bool
+	}{
+		{0, 0, true},
+		{1, 0, true},
+		{2, 1, true},
+		{5, 2, true},
+		{8, 3, true},
+		{11.5, 4, true},
+		{12, 4, true},
+		{-0.1, 0, false},
+		{12.1, 0, false},
+	}
+	for _, c := range cases {
+		j, ok := d.Locate(c.t)
+		if ok != c.ok || (ok && j != c.want) {
+			t.Errorf("Locate(%g) = (%d, %v), want (%d, %v)", c.t, j, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestOverlapLength(t *testing.T) {
+	d := MustDecompose(task.Fig1Example(), 0)
+	// Subinterval 2 is [4, 8].
+	cases := []struct {
+		lo, hi, want float64
+	}{
+		{0, 12, 4},
+		{5, 6, 1},
+		{0, 5, 1},
+		{7, 20, 1},
+		{8, 9, 0},
+		{0, 4, 0},
+	}
+	for _, c := range cases {
+		if got := d.OverlapLength(2, c.lo, c.hi); got != c.want {
+			t.Errorf("OverlapLength(2, %g, %g) = %g, want %g", c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestDecomposeTolerance(t *testing.T) {
+	ts := task.MustNew(
+		[3]float64{0, 1, 10},
+		[3]float64{1e-12, 1, 10 + 1e-12},
+	)
+	d := MustDecompose(ts, 1e-9)
+	if d.NumSubs() != 1 {
+		t.Fatalf("near-duplicate boundaries should merge: %v", d.Points)
+	}
+	// Both tasks must still be classified as overlapping the single cell.
+	if d.Subs[0].Count() != 2 {
+		t.Errorf("overlap count = %d, want 2", d.Subs[0].Count())
+	}
+}
+
+func TestDecomposeInvalidSet(t *testing.T) {
+	if _, err := Decompose(task.Set{}, 0); err == nil {
+		t.Error("empty set should fail")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	s := Subinterval{Start: 8, End: 10}
+	if got := s.Capacity(4); got != 8 {
+		t.Errorf("Capacity(4) = %g, want 8", got)
+	}
+}
+
+func BenchmarkDecompose(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	ts := task.MustGenerate(rng, task.PaperDefaults(40))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decompose(ts, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package interval
+
+// Workload profiling utilities over a decomposition: per-subinterval load
+// (the sum of overlapping tasks' intensities, i.e. the aggregate
+// frequency demand if every task ran stretched over its whole window),
+// overlap histograms, and peak statistics. The experiment harness and the
+// CLIs use these to characterize generated instances; the load profile is
+// also the quantity whose per-core share determines whether a subinterval
+// is meaningfully contended beyond the raw n_j > m test.
+
+// LoadProfile returns, for each subinterval, the sum of the overlapping
+// tasks' intensities C_i/(D_i−R_i).
+func (d *Decomposition) LoadProfile() []float64 {
+	out := make([]float64, d.NumSubs())
+	for j, sub := range d.Subs {
+		var sum float64
+		for _, id := range sub.Overlapping {
+			sum += d.Tasks[id].Intensity()
+		}
+		out[j] = sum
+	}
+	return out
+}
+
+// PeakLoad returns the maximum of LoadProfile and the index where it
+// occurs (the most contended subinterval).
+func (d *Decomposition) PeakLoad() (load float64, sub int) {
+	profile := d.LoadProfile()
+	for j, v := range profile {
+		if v > load {
+			load, sub = v, j
+		}
+	}
+	return load, sub
+}
+
+// OverlapHistogram returns counts[k] = total time during which exactly k
+// tasks overlap, for k = 0..n. The histogram is weighted by subinterval
+// length, so its sum equals the horizon D̄ − R̄.
+func (d *Decomposition) OverlapHistogram() []float64 {
+	counts := make([]float64, len(d.Tasks)+1)
+	for _, sub := range d.Subs {
+		counts[sub.Count()] += sub.Length()
+	}
+	return counts
+}
+
+// TimeAboveCores returns the total duration of heavily overlapped
+// subintervals for an m-core processor — the portion of the horizon where
+// the paper's allocation algorithms actually have to arbitrate.
+func (d *Decomposition) TimeAboveCores(m int) float64 {
+	var sum float64
+	for _, sub := range d.Subs {
+		if sub.HeavyFor(m) {
+			sum += sub.Length()
+		}
+	}
+	return sum
+}
+
+// MeanUtilizationBound returns the total task work divided by the horizon
+// and core count: a lower bound on the average per-core frequency any
+// schedule must sustain.
+func (d *Decomposition) MeanUtilizationBound(m int) float64 {
+	return d.Tasks.TotalWork() / (d.TotalLength() * float64(m))
+}

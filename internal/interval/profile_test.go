@@ -1,0 +1,109 @@
+package interval
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func TestLoadProfileSectionVD(t *testing.T) {
+	d := MustDecompose(task.SectionVDExample(), 0)
+	profile := d.LoadProfile()
+	if len(profile) != 11 {
+		t.Fatalf("profile length %d", len(profile))
+	}
+	// Subinterval [8,10] (index 4) overlaps τ1..τ5 with intensities
+	// 4/5, 7/8, 2/3, 1/2, 5/6 → sum = 3.675.
+	want := 4.0/5 + 7.0/8 + 2.0/3 + 1.0/2 + 5.0/6
+	if math.Abs(profile[4]-want) > 1e-12 {
+		t.Errorf("load([8,10]) = %g, want %g", profile[4], want)
+	}
+	// First subinterval [0,2] holds only τ1.
+	if math.Abs(profile[0]-0.8) > 1e-12 {
+		t.Errorf("load([0,2]) = %g, want 0.8", profile[0])
+	}
+}
+
+func TestPeakLoad(t *testing.T) {
+	d := MustDecompose(task.SectionVDExample(), 0)
+	load, sub := d.PeakLoad()
+	// The two 5-task subintervals have the largest sums; [8,10] (3.675)
+	// vs [12,14] (2/8·...): τ2..τ6 intensities 7/8+2/3+1/2+5/6+3/5 = 3.475.
+	if sub != 4 {
+		t.Errorf("peak at subinterval %d, want 4 ([8,10])", sub)
+	}
+	if math.Abs(load-3.675) > 1e-12 {
+		t.Errorf("peak load %g, want 3.675", load)
+	}
+}
+
+func TestOverlapHistogramSumsToHorizon(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		d := MustDecompose(ts, 0)
+		h := d.OverlapHistogram()
+		var sum float64
+		for _, v := range h {
+			sum += v
+		}
+		if math.Abs(sum-d.TotalLength()) > 1e-9 {
+			t.Errorf("trial %d: histogram sums to %g, horizon %g", trial, sum, d.TotalLength())
+		}
+		// No subinterval can overlap more tasks than exist.
+		if h[len(ts)] < 0 {
+			t.Error("negative histogram bin")
+		}
+	}
+}
+
+func TestTimeAboveCoresMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := task.MustGenerate(rng, task.PaperDefaults(25))
+	d := MustDecompose(ts, 0)
+	prev := math.Inf(1)
+	for m := 1; m <= 10; m++ {
+		cur := d.TimeAboveCores(m)
+		if cur > prev+1e-12 {
+			t.Fatalf("TimeAboveCores increased at m=%d: %g > %g", m, cur, prev)
+		}
+		prev = cur
+	}
+	if got := d.TimeAboveCores(len(ts)); got != 0 {
+		t.Errorf("TimeAboveCores(n) = %g, want 0", got)
+	}
+}
+
+func TestMeanUtilizationBound(t *testing.T) {
+	ts := task.MustNew(
+		[3]float64{0, 10, 10},
+		[3]float64{0, 10, 10},
+	)
+	d := MustDecompose(ts, 0)
+	// 20 work over horizon 10 on 2 cores → bound 1.0.
+	if got := d.MeanUtilizationBound(2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("bound = %g, want 1", got)
+	}
+	if got := d.MeanUtilizationBound(4); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("bound = %g, want 0.5", got)
+	}
+}
+
+func TestHeavySubsCoveredByHistogram(t *testing.T) {
+	// TimeAboveCores must equal the histogram mass in bins > m.
+	rng := rand.New(rand.NewSource(11))
+	ts := task.MustGenerate(rng, task.PaperDefaults(18))
+	d := MustDecompose(ts, 0)
+	for m := 1; m <= 6; m++ {
+		h := d.OverlapHistogram()
+		var above float64
+		for k := m + 1; k < len(h); k++ {
+			above += h[k]
+		}
+		if math.Abs(above-d.TimeAboveCores(m)) > 1e-9 {
+			t.Errorf("m=%d: histogram mass %g != TimeAboveCores %g", m, above, d.TimeAboveCores(m))
+		}
+	}
+}

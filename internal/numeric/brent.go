@@ -1,0 +1,95 @@
+package numeric
+
+import "math"
+
+// Brent minimizes the unimodal function f on [a, b] using Brent's method:
+// golden-section steps safeguarded by successive parabolic interpolation,
+// which converges superlinearly on smooth functions while never doing
+// worse than golden section. tol is the absolute x-tolerance; maxIter
+// bounds the iterations (≤ 0 selects 200).
+//
+// The implementation follows the classic Numerical-Recipes formulation.
+func Brent(f func(float64) float64, a, b, tol float64, maxIter int) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 200
+	}
+	const cgold = 0.3819660112501051 // 2 − φ
+	x := a + cgold*(b-a)
+	w, v := x, x
+	fx := f(x)
+	fw, fv := fx, fx
+	var d, e float64
+	for iter := 0; iter < maxIter; iter++ {
+		xm := 0.5 * (a + b)
+		tol1 := tol*math.Abs(x) + 1e-15
+		tol2 := 2 * tol1
+		if math.Abs(x-xm) <= tol2-0.5*(b-a) {
+			return x
+		}
+		useGolden := true
+		if math.Abs(e) > tol1 {
+			// Trial parabolic fit through (v, fv), (w, fw), (x, fx).
+			r := (x - w) * (fx - fv)
+			q := (x - v) * (fx - fw)
+			p := (x-v)*q - (x-w)*r
+			q = 2 * (q - r)
+			if q > 0 {
+				p = -p
+			}
+			q = math.Abs(q)
+			etemp := e
+			e = d
+			if math.Abs(p) < math.Abs(0.5*q*etemp) && p > q*(a-x) && p < q*(b-x) {
+				d = p / q
+				u := x + d
+				if u-a < tol2 || b-u < tol2 {
+					d = math.Copysign(tol1, xm-x)
+				}
+				useGolden = false
+			}
+		}
+		if useGolden {
+			if x >= xm {
+				e = a - x
+			} else {
+				e = b - x
+			}
+			d = cgold * e
+		}
+		var u float64
+		if math.Abs(d) >= tol1 {
+			u = x + d
+		} else {
+			u = x + math.Copysign(tol1, d)
+		}
+		fu := f(u)
+		if fu <= fx {
+			if u >= x {
+				a = x
+			} else {
+				b = x
+			}
+			v, w, x = w, x, u
+			fv, fw, fx = fw, fx, fu
+		} else {
+			if u < x {
+				a = u
+			} else {
+				b = u
+			}
+			if fu <= fw || w == x {
+				v, w = w, u
+				fv, fw = fw, fu
+			} else if fu <= fv || v == x || v == w {
+				v, fv = u, fu
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,222 @@
+// Package numeric provides the small numerical kernel shared by the
+// scheduling algorithms: robust floating-point comparison, compensated
+// summation, bracketing one-dimensional minimization and root finding.
+//
+// Everything here is dependency-free and deterministic; the schedulers,
+// the convex optimizer, and the power-model curve fitter are all built on
+// top of these primitives.
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// Eps is the default absolute/relative tolerance used by the approximate
+// comparison helpers. It is deliberately loose compared to machine epsilon
+// because schedule arithmetic chains many additions of interval lengths.
+const Eps = 1e-9
+
+// AlmostEqual reports whether a and b are equal within a mixed
+// absolute/relative tolerance tol. A tol of zero falls back to Eps.
+func AlmostEqual(a, b, tol float64) bool {
+	if tol <= 0 {
+		tol = Eps
+	}
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	if diff <= tol {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= tol*scale
+}
+
+// LessOrAlmostEqual reports a <= b up to the default tolerance, scaled.
+func LessOrAlmostEqual(a, b float64) bool {
+	return a <= b || AlmostEqual(a, b, 0)
+}
+
+// Clamp returns x restricted to the closed interval [lo, hi].
+// It panics if lo > hi.
+func Clamp(x, lo, hi float64) float64 {
+	if lo > hi {
+		panic("numeric: Clamp with lo > hi")
+	}
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// KahanSum accumulates floating-point values with compensated
+// (Kahan-Babuska) summation, which keeps the error independent of the
+// number of addends. The zero value is ready to use.
+type KahanSum struct {
+	sum float64
+	c   float64
+}
+
+// Add accumulates v.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if math.Abs(k.sum) >= math.Abs(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated total.
+func (k *KahanSum) Value() float64 { return k.sum + k.c }
+
+// Sum returns the compensated sum of xs.
+func Sum(xs []float64) float64 {
+	var k KahanSum
+	for _, x := range xs {
+		k.Add(x)
+	}
+	return k.Value()
+}
+
+// invPhi is 1/phi, the golden-section step ratio.
+var invPhi = (math.Sqrt(5) - 1) / 2
+
+// GoldenSection minimizes the unimodal function f on [a, b] to within the
+// absolute x-tolerance tol and returns the approximate minimizer. It
+// evaluates f O(log((b-a)/tol)) times. If a > b the arguments are swapped.
+func GoldenSection(f func(float64) float64, a, b, tol float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if b-a <= tol {
+		return (a + b) / 2
+	}
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 <= f2 {
+			b, x2, f2 = x2, x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		} else {
+			a, x1, f1 = x1, x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		}
+	}
+	return (a + b) / 2
+}
+
+// ErrNoBracket is returned by Bisect when f(a) and f(b) have the same sign.
+var ErrNoBracket = errors.New("numeric: root not bracketed")
+
+// Bisect finds a root of f on [a, b] with f(a) and f(b) of opposite sign,
+// to within x-tolerance tol.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	if a > b {
+		a, b = b, a
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if (fa > 0) == (fb > 0) {
+		return 0, ErrNoBracket
+	}
+	for b-a > tol {
+		mid := a + (b-a)/2
+		fm := f(mid)
+		if fm == 0 {
+			return mid, nil
+		}
+		if (fm > 0) == (fa > 0) {
+			a, fa = mid, fm
+		} else {
+			b = mid
+		}
+	}
+	return a + (b-a)/2, nil
+}
+
+// MinimizeConvex1D minimizes a convex differentiable function given its
+// derivative df on [a, b]. It first checks the endpoints' derivative signs
+// (a convex function with df(a) >= 0 is minimized at a, and with
+// df(b) <= 0 at b) and otherwise bisects the derivative to the stationary
+// point. tol is the x-tolerance.
+func MinimizeConvex1D(df func(float64) float64, a, b, tol float64) float64 {
+	if a > b {
+		a, b = b, a
+	}
+	if df(a) >= 0 {
+		return a
+	}
+	if df(b) <= 0 {
+		return b
+	}
+	x, err := Bisect(df, a, b, tol)
+	if err != nil {
+		// Sign change was verified above, so this is unreachable unless f
+		// is non-deterministic; fall back to the midpoint.
+		return a + (b-a)/2
+	}
+	return x
+}
+
+// Linspace returns n evenly spaced points from lo to hi inclusive.
+// n must be at least 2.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		panic("numeric: Linspace needs n >= 2")
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Dot returns the inner product of two equal-length vectors.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: Dot with mismatched lengths")
+	}
+	var k KahanSum
+	for i := range a {
+		k.Add(a[i] * b[i])
+	}
+	return k.Value()
+}
+
+// MaxAbsDiff returns the infinity-norm distance between two equal-length
+// vectors.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("numeric: MaxAbsDiff with mismatched lengths")
+	}
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

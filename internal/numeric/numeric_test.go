@@ -1,0 +1,298 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		a, b, tol float64
+		want      bool
+	}{
+		{1, 1, 0, true},
+		{1, 1 + 1e-12, 0, true},
+		{1, 1.1, 0, false},
+		{0, 1e-12, 0, true},
+		{0, 1e-3, 0, false},
+		{1e9, 1e9 + 1, 1e-6, true},
+		{1e9, 1e9 + 1e6, 1e-6, false},
+		{-2, -2 - 1e-12, 0, true},
+		{math.Inf(1), math.Inf(1), 0, true},
+	}
+	for _, c := range cases {
+		if got := AlmostEqual(c.a, c.b, c.tol); got != c.want {
+			t.Errorf("AlmostEqual(%g,%g,%g) = %v, want %v", c.a, c.b, c.tol, got, c.want)
+		}
+	}
+}
+
+func TestAlmostEqualSymmetric(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		return AlmostEqual(a, b, 0) == AlmostEqual(b, a, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLessOrAlmostEqual(t *testing.T) {
+	if !LessOrAlmostEqual(1, 2) {
+		t.Error("1 <= 2 should hold")
+	}
+	if !LessOrAlmostEqual(2, 2) {
+		t.Error("2 <= 2 should hold")
+	}
+	if !LessOrAlmostEqual(2+1e-13, 2) {
+		t.Error("2+tiny <= 2 should hold approximately")
+	}
+	if LessOrAlmostEqual(2.1, 2) {
+		t.Error("2.1 <= 2 should not hold")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 3); got != 3 {
+		t.Errorf("Clamp(5,0,3) = %g", got)
+	}
+	if got := Clamp(-1, 0, 3); got != 0 {
+		t.Errorf("Clamp(-1,0,3) = %g", got)
+	}
+	if got := Clamp(2, 0, 3); got != 2 {
+		t.Errorf("Clamp(2,0,3) = %g", got)
+	}
+}
+
+func TestClampPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp with lo > hi should panic")
+		}
+	}()
+	Clamp(1, 3, 0)
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(x, a, b float64) bool {
+		if math.IsNaN(x) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		got := Clamp(x, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKahanSumPrecision(t *testing.T) {
+	// Summing 1e8 copies of 0.1 naively drifts; Kahan should be exact to
+	// ~1 ulp of the total. Use a smaller but still adversarial series.
+	var k KahanSum
+	n := 1_000_000
+	for i := 0; i < n; i++ {
+		k.Add(0.1)
+	}
+	want := float64(n) * 0.1
+	if math.Abs(k.Value()-want) > 1e-6 {
+		t.Errorf("Kahan sum of %d*0.1 = %.12f, want %.12f", n, k.Value(), want)
+	}
+}
+
+func TestKahanSumCancellation(t *testing.T) {
+	var k KahanSum
+	k.Add(1e16)
+	k.Add(1)
+	k.Add(-1e16)
+	if got := k.Value(); got != 1 {
+		t.Errorf("compensated sum = %g, want 1", got)
+	}
+}
+
+func TestSumMatchesLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 1000)
+	var plain float64
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		plain += xs[i]
+	}
+	if !AlmostEqual(Sum(xs), plain, 1e-9) {
+		t.Errorf("Sum = %g, loop = %g", Sum(xs), plain)
+	}
+}
+
+func TestGoldenSectionQuadratic(t *testing.T) {
+	f := func(x float64) float64 { return (x - 2.5) * (x - 2.5) }
+	got := GoldenSection(f, 0, 10, 1e-10)
+	if math.Abs(got-2.5) > 1e-8 {
+		t.Errorf("minimizer = %g, want 2.5", got)
+	}
+}
+
+func TestGoldenSectionSwappedBounds(t *testing.T) {
+	f := func(x float64) float64 { return math.Abs(x - 1) }
+	got := GoldenSection(f, 10, 0, 1e-10)
+	if math.Abs(got-1) > 1e-8 {
+		t.Errorf("minimizer = %g, want 1", got)
+	}
+}
+
+func TestGoldenSectionBoundaryMinimum(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	got := GoldenSection(f, 3, 7, 1e-10)
+	if math.Abs(got-3) > 1e-8 {
+		t.Errorf("minimizer = %g, want boundary 3", got)
+	}
+}
+
+func TestGoldenSectionEnergyShape(t *testing.T) {
+	// The per-task energy curve from the paper: E(f) = C(f^2 + p0/f),
+	// minimized at f* = (p0/(alpha-1))^(1/alpha) with alpha=3.
+	const p0 = 0.25
+	f := func(x float64) float64 { return x*x + p0/x }
+	got := GoldenSection(f, 1e-3, 10, 1e-12)
+	want := math.Pow(p0/2, 1.0/3)
+	if math.Abs(got-want) > 1e-8 {
+		t.Errorf("energy minimizer = %g, want %g", got, want)
+	}
+}
+
+func TestGoldenSectionPropertyQuadratics(t *testing.T) {
+	f := func(center float64) bool {
+		c := math.Mod(math.Abs(center), 100)
+		g := func(x float64) float64 { return (x - c) * (x - c) }
+		got := GoldenSection(g, -1, 101, 1e-10)
+		return math.Abs(got-c) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x*x - 8 }
+	got, err := Bisect(f, 0, 10, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1e-9 {
+		t.Errorf("root = %g, want 2", got)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -5, 5, 1e-12); err != ErrNoBracket {
+		t.Errorf("expected ErrNoBracket, got %v", err)
+	}
+}
+
+func TestBisectEndpointRoots(t *testing.T) {
+	f := func(x float64) float64 { return x - 3 }
+	got, err := Bisect(f, 3, 10, 1e-12)
+	if err != nil || got != 3 {
+		t.Errorf("endpoint root: got %g, %v", got, err)
+	}
+	got, err = Bisect(f, -1, 3, 1e-12)
+	if err != nil || got != 3 {
+		t.Errorf("endpoint root: got %g, %v", got, err)
+	}
+}
+
+func TestMinimizeConvex1D(t *testing.T) {
+	// d/dx of (x-4)^2 is 2(x-4).
+	df := func(x float64) float64 { return 2 * (x - 4) }
+	got := MinimizeConvex1D(df, 0, 10, 1e-12)
+	if math.Abs(got-4) > 1e-9 {
+		t.Errorf("minimizer = %g, want 4", got)
+	}
+	// Minimum at the left boundary.
+	got = MinimizeConvex1D(df, 6, 10, 1e-12)
+	if got != 6 {
+		t.Errorf("boundary minimizer = %g, want 6", got)
+	}
+	// Minimum at the right boundary.
+	got = MinimizeConvex1D(df, 0, 2, 1e-12)
+	if got != 2 {
+		t.Errorf("boundary minimizer = %g, want 2", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(xs) != len(want) {
+		t.Fatalf("len = %d", len(xs))
+	}
+	for i := range xs {
+		if !AlmostEqual(xs[i], want[i], 0) {
+			t.Errorf("xs[%d] = %g, want %g", i, xs[i], want[i])
+		}
+	}
+	if xs[len(xs)-1] != 1 {
+		t.Error("last point must be exactly hi")
+	}
+}
+
+func TestLinspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Linspace(0,1,1) should panic")
+		}
+	}()
+	Linspace(0, 1, 1)
+}
+
+func TestDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %g, want 32", got)
+	}
+}
+
+func TestDotMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Dot with mismatched lengths should panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a := []float64{1, 5, 3}
+	b := []float64{1, 2, 4}
+	if got := MaxAbsDiff(a, b); got != 3 {
+		t.Errorf("MaxAbsDiff = %g, want 3", got)
+	}
+	if got := MaxAbsDiff(a, a); got != 0 {
+		t.Errorf("MaxAbsDiff(a,a) = %g, want 0", got)
+	}
+}
+
+func BenchmarkKahanSum(b *testing.B) {
+	xs := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(7))
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Sum(xs)
+	}
+}
+
+func BenchmarkGoldenSection(b *testing.B) {
+	f := func(x float64) float64 { return x*x + 0.25/x }
+	for i := 0; i < b.N; i++ {
+		GoldenSection(f, 1e-3, 10, 1e-10)
+	}
+}

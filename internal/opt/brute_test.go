@@ -1,0 +1,158 @@
+package opt
+
+// Brute-force cross-validation: on tiny instances the optimum can be
+// located by dense grid search over the allocation polytope; the
+// Frank-Wolfe solver must match it. This is the strongest independent
+// check of the solver's correctness, complementing the closed-form KKT
+// fixtures.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// bruteTwoTasksOneHeavy computes the optimum for two tasks sharing a
+// single subinterval on one core by 1-D search: x1 + x2 ≤ L, and by
+// symmetry of the continuous relaxation the optimizer is found by
+// scanning x1 (x2 = best given remaining capacity, possibly unused).
+func bruteTwoTasksOneHeavy(c1, c2, L float64, pm power.Model) float64 {
+	const steps = 1600
+	best := math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		x1 := L * float64(i) / steps
+		for j := 0; j <= steps-i; j++ {
+			x2 := L * float64(j) / steps
+			if x1+x2 > L+1e-12 {
+				continue
+			}
+			if x1 <= 0 || x2 <= 0 {
+				continue
+			}
+			e := pm.TaskEnergy(c1, x1) + pm.TaskEnergy(c2, x2)
+			if e < best {
+				best = e
+			}
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForceSingleSubinterval(t *testing.T) {
+	cases := []struct {
+		c1, c2, L float64
+		pm        power.Model
+	}{
+		{4, 2, 10, power.Unit(3, 0)},
+		{4, 2, 10, power.Unit(3, 0.1)},
+		{1, 8, 6, power.Unit(2, 0.05)},
+		{5, 5, 8, power.Unit(2.5, 0.2)},
+	}
+	for _, c := range cases {
+		ts := task.MustNew(
+			[3]float64{0, c.c1, c.L},
+			[3]float64{0, c.c2, c.L},
+		)
+		d := interval.MustDecompose(ts, 0)
+		sol := MustSolve(d, 1, c.pm, Options{MaxIterations: 30000, RelGap: 1e-10})
+		brute := bruteTwoTasksOneHeavy(c.c1, c.c2, c.L, c.pm)
+		// The grid search is itself approximate (step L/4000), so allow a
+		// proportional slack.
+		if sol.Energy > brute+1e-3*brute {
+			t.Errorf("case %+v: solver %.6f above brute force %.6f", c, sol.Energy, brute)
+		}
+		if sol.Energy < brute-5e-3*brute {
+			t.Errorf("case %+v: solver %.6f below brute force %.6f (brute too coarse or bug)", c, sol.Energy, brute)
+		}
+	}
+}
+
+// bruteTwoSubintervals scans the 3-variable polytope of a two-task,
+// two-subinterval instance on one core where task 0 is eligible only in
+// subinterval 0 and task 1 in both.
+func bruteTwoSubintervals(pm power.Model) float64 {
+	// Tasks: τ0 = (0, 3, 5), τ1 = (0, 4, 12). Subintervals [0,5], [5,12].
+	const steps = 160
+	best := math.Inf(1)
+	for i := 0; i <= steps; i++ {
+		x00 := 5 * float64(i) / steps // τ0 in [0,5]
+		for j := 0; j <= steps; j++ {
+			x10 := 5 * float64(j) / steps // τ1 in [0,5]
+			if x00+x10 > 5+1e-12 {
+				continue
+			}
+			for k := 0; k <= steps; k++ {
+				x11 := 7 * float64(k) / steps // τ1 in [5,12]
+				a0, a1 := x00, x10+x11
+				if a0 <= 0 || a1 <= 0 {
+					continue
+				}
+				e := pm.TaskEnergy(3, a0) + pm.TaskEnergy(4, a1)
+				if e < best {
+					best = e
+				}
+			}
+		}
+	}
+	return best
+}
+
+func TestSolveMatchesBruteForceTwoSubintervals(t *testing.T) {
+	for _, pm := range []power.Model{
+		power.Unit(3, 0),
+		power.Unit(3, 0.15),
+		power.Unit(2, 0.3),
+	} {
+		ts := task.MustNew(
+			[3]float64{0, 3, 5},
+			[3]float64{0, 4, 12},
+		)
+		d := interval.MustDecompose(ts, 0)
+		sol := MustSolve(d, 1, pm, Options{MaxIterations: 30000, RelGap: 1e-10})
+		brute := bruteTwoSubintervals(pm)
+		if sol.Energy > brute*(1+2e-3) {
+			t.Errorf("%v: solver %.6f above brute %.6f", pm, sol.Energy, brute)
+		}
+		if sol.Energy < brute*(1-2e-2) {
+			t.Errorf("%v: solver %.6f suspiciously below brute %.6f", pm, sol.Energy, brute)
+		}
+	}
+}
+
+func TestSolverMonotoneInCores(t *testing.T) {
+	// E^opt never increases with more cores.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 6; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(10))
+		d := interval.MustDecompose(ts, 0)
+		pm := power.Unit(3, 0.1)
+		prev := math.Inf(1)
+		for m := 1; m <= 5; m++ {
+			sol := MustSolve(d, m, pm, Options{MaxIterations: 6000, RelGap: 1e-7})
+			if sol.Energy > prev+prev*1e-4+sol.Gap {
+				t.Errorf("trial %d: E^opt increased from %.6f to %.6f at m=%d",
+					trial, prev, sol.Energy, m)
+			}
+			prev = sol.Energy
+		}
+	}
+}
+
+func TestSolverMonotoneInStaticPower(t *testing.T) {
+	// E^opt is nondecreasing in p0 (pointwise larger objective).
+	rng := rand.New(rand.NewSource(5))
+	ts := task.MustGenerate(rng, task.PaperDefaults(12))
+	d := interval.MustDecompose(ts, 0)
+	prev := -1.0
+	for _, p0 := range []float64{0, 0.05, 0.1, 0.2, 0.4} {
+		sol := MustSolve(d, 3, power.Unit(3, p0), Options{MaxIterations: 6000, RelGap: 1e-7})
+		if sol.Energy < prev-1e-6 {
+			t.Errorf("E^opt decreased from %.6f to %.6f at p0=%.2f", prev, sol.Energy, p0)
+		}
+		prev = sol.Energy
+	}
+}

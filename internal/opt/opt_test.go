@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func TestSectionIIKKTExample(t *testing.T) {
+	// The motivational example (Section II): three tasks of Fig. 1 on two
+	// cores with p(f) = f³ + 0.01. KKT optimum: x = (8/3, 4/3, 4),
+	// y = (8, 4), dynamic energy 155/32, static 0.01·20, total 5.04375.
+	ts := task.Fig1Example()
+	d := interval.MustDecompose(ts, 0)
+	sol := MustSolve(d, 2, power.Unit(3, 0.01), Options{})
+	want := 155.0/32 + 0.01*20
+	if math.Abs(sol.Energy-want) > 2e-4 {
+		t.Errorf("E^opt = %.6f, KKT optimum is %.6f (gap %.2g, %d iters)",
+			sol.Energy, want, sol.Gap, sol.Iterations)
+	}
+	// Totals should approach the KKT solution: A = (32/3, 16/3, 4).
+	wantA := []float64{8 + 8.0/3, 4 + 4.0/3, 4}
+	for i, w := range wantA {
+		if math.Abs(sol.Avail[i]-w) > 0.02 {
+			t.Errorf("A_%d = %.4f, want %.4f", i+1, sol.Avail[i], w)
+		}
+	}
+}
+
+func TestSingleTaskClosedForm(t *testing.T) {
+	// One task alone: the optimum is the ideal energy
+	// ψ(window) = TaskEnergy(C, D−R).
+	ts := task.MustNew([3]float64{0, 2, 5})
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(2, 0.25)
+	sol := MustSolve(d, 1, pm, Options{})
+	want := pm.TaskEnergy(2, 5) // = 2.00 per Fig. 3
+	if math.Abs(sol.Energy-want) > 1e-6 {
+		t.Errorf("E^opt = %.8f, want %.8f", sol.Energy, want)
+	}
+}
+
+func TestSymmetricTasksShareEvenly(t *testing.T) {
+	// k identical tasks fully overlapped on m < k cores with p0 = 0:
+	// by symmetry and convexity the optimum splits capacity evenly,
+	// A_i = m·L/k, E = Σ C²·... = k·C^α/(mL/k)^(α−1) with α = 3.
+	const (
+		k = 5
+		m = 2
+		L = 10.0
+		C = 4.0
+	)
+	triples := make([][3]float64, k)
+	for i := range triples {
+		triples[i] = [3]float64{0, C, L}
+	}
+	ts := task.MustNew(triples...)
+	d := interval.MustDecompose(ts, 0)
+	sol := MustSolve(d, m, power.Unit(3, 0), Options{})
+	a := m * L / float64(k)
+	want := float64(k) * C * C * C / (a * a)
+	if math.Abs(sol.Energy-want)/want > 1e-4 {
+		t.Errorf("E^opt = %.6f, want %.6f", sol.Energy, want)
+	}
+	for i := 0; i < k; i++ {
+		if math.Abs(sol.Avail[i]-a)/a > 1e-2 {
+			t.Errorf("A_%d = %.4f, want %.4f", i, sol.Avail[i], a)
+		}
+	}
+}
+
+func TestStaticPowerKink(t *testing.T) {
+	// With large static power the optimum refuses to use all available
+	// time: one task, huge window; optimum is at the critical frequency.
+	ts := task.MustNew([3]float64{0, 2, 1000})
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(2, 0.25)
+	sol := MustSolve(d, 1, pm, Options{})
+	// f* = 0.5, best energy = 2·(0.5 + 0.25/0.5) = 2.0.
+	if math.Abs(sol.Energy-2.0) > 1e-6 {
+		t.Errorf("E^opt = %.8f, want 2.0 (critical-frequency operation)", sol.Energy)
+	}
+}
+
+func TestOptimalNeverAboveHeuristics(t *testing.T) {
+	// E^opt must lower-bound the paper's heuristics (up to solver gap).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 10; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		m := 2 + rng.Intn(4)
+		pm := power.Unit(2+rng.Float64(), rng.Float64()*0.2)
+		d := interval.MustDecompose(ts, 0)
+		sol := MustSolve(d, m, pm, Options{})
+		suite, err := core.RunSuite(ts, m, pm, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slack := sol.Gap + 1e-6*sol.Energy
+		if sol.Energy > suite.Even.FinalEnergy+slack {
+			t.Errorf("trial %d: E^opt %.6f > E^F1 %.6f", trial, sol.Energy, suite.Even.FinalEnergy)
+		}
+		if sol.Energy > suite.DER.FinalEnergy+slack {
+			t.Errorf("trial %d: E^opt %.6f > E^F2 %.6f", trial, sol.Energy, suite.DER.FinalEnergy)
+		}
+	}
+}
+
+func TestSolutionFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(12))
+		m := 2 + rng.Intn(3)
+		d := interval.MustDecompose(ts, 0)
+		sol := MustSolve(d, m, power.Unit(3, 0.1), Options{})
+		// Per-variable box constraints and per-subinterval capacity.
+		used := make([]float64, d.NumSubs())
+		for i := range sol.X {
+			subs := d.SubsOf(i)
+			var tot float64
+			for k, j := range subs {
+				v := sol.X[i][k]
+				if v < -1e-9 || v > d.Subs[j].Length()+1e-9 {
+					t.Fatalf("x[%d][%d] = %g out of box [0, %g]", i, j, v, d.Subs[j].Length())
+				}
+				used[j] += v
+				tot += v
+			}
+			if math.Abs(tot-sol.Avail[i]) > 1e-6 {
+				t.Errorf("A_%d mismatch: %g vs %g", i, tot, sol.Avail[i])
+			}
+		}
+		for j, u := range used {
+			if u > d.Subs[j].Capacity(m)+1e-6 {
+				t.Errorf("subinterval %d capacity violated: %g > %g", j, u, d.Subs[j].Capacity(m))
+			}
+		}
+	}
+}
+
+func TestGapCertificate(t *testing.T) {
+	ts := task.SectionVDExample()
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(3, 0)
+	loose := MustSolve(d, 4, pm, Options{MaxIterations: 30})
+	tight := MustSolve(d, 4, pm, Options{MaxIterations: 20000, RelGap: 1e-9})
+	if tight.Energy > loose.Energy+1e-9 {
+		t.Errorf("more iterations increased energy: %.8f > %.8f", tight.Energy, loose.Energy)
+	}
+	// The gap bounds the suboptimality: loose.Energy − optimum ≤
+	// loose.Gap, so loose.Energy − tight.Energy ≤ loose.Gap + tight.Gap.
+	if loose.Energy-tight.Energy > loose.Gap+tight.Gap+1e-9 {
+		t.Errorf("gap certificate violated: Δ=%.8f, gaps %.8f/%.8f",
+			loose.Energy-tight.Energy, loose.Gap, tight.Gap)
+	}
+}
+
+func TestSectionVDOptimalBelowF2(t *testing.T) {
+	// On the paper's example the DER final schedule is 31.8362; E^opt
+	// must be below that but within a sane factor.
+	ts := task.SectionVDExample()
+	d := interval.MustDecompose(ts, 0)
+	sol := MustSolve(d, 4, power.Unit(3, 0), Options{})
+	if sol.Energy > 31.8362+1e-3 {
+		t.Errorf("E^opt = %.4f should be ≤ E^F2 = 31.8362", sol.Energy)
+	}
+	if sol.Energy < 20 {
+		t.Errorf("E^opt = %.4f implausibly low", sol.Energy)
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	ts := task.Fig1Example()
+	d := interval.MustDecompose(ts, 0)
+	if _, err := Solve(d, 0, power.Unit(3, 0), Options{}); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := Solve(d, 2, power.Unit(1.2, 0), Options{}); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func BenchmarkSolve20Tasks(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(3, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(d, 4, pm, Options{MaxIterations: 1000, RelGap: 1e-5}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

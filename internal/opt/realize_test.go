@@ -1,0 +1,83 @@
+package opt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/power"
+	"repro/internal/sim"
+	"repro/internal/task"
+)
+
+func TestRealizeKKTExample(t *testing.T) {
+	ts := task.Fig1Example()
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(3, 0.01)
+	sol := MustSolve(d, 2, pm, Options{MaxIterations: 20000, RelGap: 1e-9})
+	sched, err := Realize(d, 2, pm, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := sched.Energy(pm)
+	if math.Abs(got-sol.Energy) > 1e-6*sol.Energy {
+		t.Errorf("realized energy %.8f != solution %.8f", got, sol.Energy)
+	}
+}
+
+func TestRealizeRandomInstances(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 10; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(12))
+		m := 2 + rng.Intn(4)
+		pm := power.Unit(2+rng.Float64(), rng.Float64()*0.2)
+		d := interval.MustDecompose(ts, 1e-9)
+		sol := MustSolve(d, m, pm, Options{})
+		sched, err := Realize(d, m, pm, sol)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Independent verification through the simulator.
+		rep, err := sim.Run(sched, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.OK() {
+			t.Fatalf("trial %d: %v", trial, rep.Violations)
+		}
+		if math.Abs(rep.Energy-sol.Energy) > 1e-5*sol.Energy {
+			t.Errorf("trial %d: sim %.6f vs solution %.6f", trial, rep.Energy, sol.Energy)
+		}
+	}
+}
+
+func TestRealizeStaticPowerKink(t *testing.T) {
+	// The optimal leaves granted time unused under heavy static power;
+	// the realization must reflect that (busy time < granted time) while
+	// completing the work.
+	ts := task.MustNew([3]float64{0, 2, 1000})
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(2, 0.25)
+	sol := MustSolve(d, 1, pm, Options{})
+	sched, err := Realize(d, 1, pm, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// f* = 0.5 → busy time 4, far below the 1000-unit window.
+	if bt := sched.BusyTime(); math.Abs(bt-4) > 1e-6 {
+		t.Errorf("busy time %g, want 4", bt)
+	}
+	if got := sched.Energy(pm); math.Abs(got-2.0) > 1e-9 {
+		t.Errorf("energy %g, want 2.0", got)
+	}
+}
+
+func TestRealizeShapeMismatch(t *testing.T) {
+	ts := task.Fig1Example()
+	d := interval.MustDecompose(ts, 0)
+	pm := power.Unit(3, 0)
+	if _, err := Realize(d, 2, pm, &Solution{}); err == nil {
+		t.Error("mismatched solution should fail")
+	}
+}

@@ -1,0 +1,198 @@
+package partition
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func TestAssignCoversAllTasks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	a, err := Assign(ts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make([]bool, len(ts))
+	for k, ids := range a.PerCore {
+		for _, id := range ids {
+			if seen[id] {
+				t.Fatalf("task %d assigned twice", id)
+			}
+			seen[id] = true
+			if a.CoreOf[id] != k {
+				t.Fatalf("CoreOf[%d] = %d, but listed on core %d", id, a.CoreOf[id], k)
+			}
+		}
+	}
+	for id, s := range seen {
+		if !s {
+			t.Errorf("task %d unassigned", id)
+		}
+	}
+}
+
+func TestAssignBalances(t *testing.T) {
+	// Four identical heavy tasks on four cores must go one per core.
+	ts := task.MustNew(
+		[3]float64{0, 8, 10},
+		[3]float64{0, 8, 10},
+		[3]float64{0, 8, 10},
+		[3]float64{0, 8, 10},
+	)
+	a, err := Assign(ts, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, ids := range a.PerCore {
+		if len(ids) != 1 {
+			t.Errorf("core %d has %d tasks, want 1 (%v)", k, len(ids), a.PerCore)
+		}
+	}
+}
+
+func TestScheduleFeasibleAndComplete(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 15; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		m := 2 + rng.Intn(4)
+		pm := power.Unit(3, rng.Float64()*0.2)
+		sched, energy, err := Schedule(ts, m, pm)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if energy <= 0 {
+			t.Errorf("trial %d: energy %g", trial, energy)
+		}
+		done := sched.CompletedWork()
+		for _, tk := range ts {
+			if done[tk.ID] < tk.Work*(1-1e-6) {
+				t.Errorf("trial %d: task %d completed %g of %g", trial, tk.ID, done[tk.ID], tk.Work)
+			}
+		}
+	}
+}
+
+func TestNoMigrationInPartitionedSchedule(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	ts := task.MustGenerate(rng, task.PaperDefaults(12))
+	sched, _, err := Schedule(ts, 3, power.Unit(3, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	coreOf := map[int]int{}
+	for _, seg := range sched.Segments {
+		if prev, ok := coreOf[seg.Task]; ok && prev != seg.Core {
+			t.Fatalf("task %d migrated from core %d to %d", seg.Task, prev, seg.Core)
+		}
+		coreOf[seg.Task] = seg.Core
+	}
+}
+
+func TestPartitionedNeverBeatsMigratoryOptimum(t *testing.T) {
+	// Partitioned scheduling is a restriction of migratory scheduling, so
+	// its energy is lower-bounded by the convex optimum.
+	rng := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 8; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(10))
+		pm := power.Unit(3, 0.05)
+		_, energy, err := Schedule(ts, 3, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := interval.MustDecompose(ts, 1e-9)
+		sol := opt.MustSolve(d, 3, pm, opt.Options{MaxIterations: 3000, RelGap: 1e-6})
+		if energy < sol.Energy-sol.Gap-1e-6 {
+			t.Errorf("trial %d: partitioned %.6f below migratory optimum %.6f",
+				trial, energy, sol.Energy)
+		}
+	}
+}
+
+func TestCriticalFrequencyFloorApplied(t *testing.T) {
+	// One lazy task with an enormous window: plain YDS would run at a
+	// tiny speed; the floor must raise it to f*.
+	ts := task.MustNew([3]float64{0, 1, 1000})
+	pm := power.Unit(2, 0.25) // f* = 0.5
+	sched, energy, err := Schedule(ts, 1, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range sched.Segments {
+		if seg.Frequency < 0.5-1e-12 {
+			t.Errorf("segment below critical frequency: %v", seg)
+		}
+	}
+	// Energy = 1·(0.5 + 0.25/0.5) = 1.0.
+	if math.Abs(energy-1.0) > 1e-9 {
+		t.Errorf("energy = %g, want 1.0", energy)
+	}
+}
+
+func TestSingleCoreEqualsYDSWhenNoStaticPower(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	ts := task.MustGenerate(rng, task.PaperDefaults(8))
+	pm := power.Unit(3, 0)
+	_, energy, err := Schedule(ts, 1, pm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := interval.MustDecompose(ts, 1e-9)
+	sol := opt.MustSolve(d, 1, pm, opt.Options{MaxIterations: 20000, RelGap: 1e-9})
+	if math.Abs(energy-sol.Energy) > 1e-3*sol.Energy+sol.Gap {
+		t.Errorf("single-core partitioned %.6f != uniprocessor optimum %.6f", energy, sol.Energy)
+	}
+}
+
+func TestMigrationUsuallyHelps(t *testing.T) {
+	// Across random instances the migratory F2 heuristic should beat the
+	// partitioned baseline on average (the point of the comparison).
+	rng := rand.New(rand.NewSource(55))
+	var partTotal, migTotal float64
+	for trial := 0; trial < 12; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(15))
+		pm := power.Unit(3, 0.1)
+		_, pe, err := Schedule(ts, 4, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+		partTotal += pe
+		migTotal += res.FinalEnergy
+	}
+	if migTotal > partTotal*1.02 {
+		t.Errorf("migratory F2 total %.4f much worse than partitioned %.4f", migTotal, partTotal)
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	ts := task.Fig1Example()
+	if _, err := Assign(ts, 0); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := Assign(task.Set{}, 2); err == nil {
+		t.Error("empty set should fail")
+	}
+	if _, _, err := Schedule(ts, 2, power.Unit(1, 0)); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func BenchmarkPartitionSchedule(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	pm := power.Unit(3, 0.1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Schedule(ts, 4, pm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

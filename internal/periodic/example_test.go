@@ -1,0 +1,33 @@
+package periodic_test
+
+import (
+	"fmt"
+
+	"repro/internal/periodic"
+)
+
+// A classic implicit-deadline periodic system: hyperperiod and job
+// unrolling.
+func ExampleUnroll() {
+	sys := periodic.System{
+		{Period: 10, WCET: 2},
+		{Period: 20, WCET: 5, Deadline: 15},
+	}
+	hp, err := sys.Hyperperiod(1, 0)
+	if err != nil {
+		panic(err)
+	}
+	jobs, err := periodic.Unroll(sys, hp)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("hyperperiod %g, utilization %.2f, %d jobs\n", hp, sys.Utilization(), len(jobs))
+	for _, j := range jobs[:3] {
+		fmt.Printf("  release %g deadline %g work %g\n", j.Release, j.Deadline, j.Work)
+	}
+	// Output:
+	// hyperperiod 20, utilization 0.45, 3 jobs
+	//   release 0 deadline 10 work 2
+	//   release 10 deadline 20 work 2
+	//   release 0 deadline 15 work 5
+}

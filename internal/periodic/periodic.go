@@ -1,0 +1,196 @@
+// Package periodic adapts classic real-time task models to the paper's
+// aperiodic formulation: periodic task systems (period, WCET, relative
+// deadline, offset) are unrolled job-by-job over a horizon into an
+// aperiodic task.Set, and sporadic systems (minimum inter-arrival) are
+// expanded with randomized legal arrival sequences. This makes the
+// paper's schedulers directly applicable to the workloads most
+// energy-aware-scheduling literature evaluates on (frame-based, periodic
+// and sporadic models are the special cases the paper generalizes).
+package periodic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/task"
+)
+
+// Task is one periodic (or sporadic) task.
+type Task struct {
+	// Period is the exact inter-release time (periodic) or the minimum
+	// inter-arrival time (sporadic).
+	Period float64
+	// WCET is the per-job execution requirement (work at unit frequency).
+	WCET float64
+	// Deadline is the relative deadline of each job; zero means implicit
+	// (= Period).
+	Deadline float64
+	// Offset delays the first release (periodic only).
+	Offset float64
+}
+
+// relDeadline resolves the implicit-deadline convention.
+func (t Task) relDeadline() float64 {
+	if t.Deadline == 0 {
+		return t.Period
+	}
+	return t.Deadline
+}
+
+// Validate checks one task.
+func (t Task) Validate() error {
+	if !(t.Period > 0) {
+		return fmt.Errorf("periodic: period %g must be positive", t.Period)
+	}
+	if !(t.WCET > 0) {
+		return fmt.Errorf("periodic: WCET %g must be positive", t.WCET)
+	}
+	if t.Deadline < 0 || t.Offset < 0 {
+		return fmt.Errorf("periodic: negative deadline or offset")
+	}
+	if t.WCET > t.relDeadline() {
+		return fmt.Errorf("periodic: WCET %g exceeds relative deadline %g (infeasible at unit speed)", t.WCET, t.relDeadline())
+	}
+	return nil
+}
+
+// System is a set of periodic/sporadic tasks.
+type System []Task
+
+// Validate checks every task.
+func (s System) Validate() error {
+	if len(s) == 0 {
+		return fmt.Errorf("periodic: empty system")
+	}
+	for i, t := range s {
+		if err := t.Validate(); err != nil {
+			return fmt.Errorf("task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Utilization returns Σ WCET/Period, the classic density of the system
+// (the minimum average per-core speed any schedule must sustain).
+func (s System) Utilization() float64 {
+	var u float64
+	for _, t := range s {
+		u += t.WCET / t.Period
+	}
+	return u
+}
+
+// Hyperperiod returns the least common multiple of the periods, computed
+// on a quantized integer grid: every period must be within tol of a
+// multiple of quantum. A schedule repeating every hyperperiod covers all
+// phasings of the system.
+func (s System) Hyperperiod(quantum, tol float64) (float64, error) {
+	if err := s.Validate(); err != nil {
+		return 0, err
+	}
+	if !(quantum > 0) {
+		return 0, fmt.Errorf("periodic: quantum %g must be positive", quantum)
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	l := int64(1)
+	for i, t := range s {
+		q := t.Period / quantum
+		qi := math.Round(q)
+		if math.Abs(q-qi) > tol*math.Max(1, q) || qi < 1 {
+			return 0, fmt.Errorf("periodic: task %d period %g is not a multiple of quantum %g", i, t.Period, quantum)
+		}
+		var overflow bool
+		l, overflow = lcm64(l, int64(qi))
+		if overflow {
+			return 0, fmt.Errorf("periodic: hyperperiod overflows; choose a coarser quantum")
+		}
+	}
+	return float64(l) * quantum, nil
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm64(a, b int64) (int64, bool) {
+	g := gcd64(a, b)
+	q := a / g
+	if q != 0 && b > math.MaxInt64/q {
+		return 0, true
+	}
+	return q * b, false
+}
+
+// Unroll expands the system over [0, horizon): one aperiodic task per job
+// whose release falls inside the horizon. Jobs keep their full windows
+// even when the deadline lands beyond the horizon, preserving exact
+// semantics for schedulers (truncate the horizon yourself if you need a
+// closed analysis window).
+func Unroll(s System, horizon float64) (task.Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("periodic: horizon %g must be positive", horizon)
+	}
+	var out task.Set
+	for _, t := range s {
+		for r := t.Offset; r < horizon; r += t.Period {
+			out = append(out, task.Task{
+				ID:       len(out),
+				Release:  r,
+				Work:     t.WCET,
+				Deadline: r + t.relDeadline(),
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("periodic: no job released within the horizon")
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("periodic: unrolled set invalid: %w", err)
+	}
+	return out, nil
+}
+
+// UnrollSporadic expands the system over [0, horizon) with randomized
+// legal sporadic arrivals: consecutive releases of a task are separated
+// by Period·(1 + jitter·U) with U uniform on [0, 1]. jitter = 0
+// degenerates to the periodic pattern.
+func UnrollSporadic(rng *rand.Rand, s System, horizon, jitter float64) (task.Set, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if !(horizon > 0) {
+		return nil, fmt.Errorf("periodic: horizon %g must be positive", horizon)
+	}
+	if jitter < 0 {
+		return nil, fmt.Errorf("periodic: jitter %g must be non-negative", jitter)
+	}
+	var out task.Set
+	for _, t := range s {
+		r := t.Offset
+		for r < horizon {
+			out = append(out, task.Task{
+				ID:       len(out),
+				Release:  r,
+				Work:     t.WCET,
+				Deadline: r + t.relDeadline(),
+			})
+			r += t.Period * (1 + jitter*rng.Float64())
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("periodic: no job released within the horizon")
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("periodic: unrolled set invalid: %w", err)
+	}
+	return out, nil
+}

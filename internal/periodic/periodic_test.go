@@ -1,0 +1,179 @@
+package periodic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+func avionics() System {
+	return System{
+		{Period: 10, WCET: 2},               // implicit deadline 10
+		{Period: 20, WCET: 5, Deadline: 15}, // constrained deadline
+		{Period: 40, WCET: 8, Offset: 5},    // offset release
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := avionics().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Task{
+		{Period: 0, WCET: 1},
+		{Period: 10, WCET: 0},
+		{Period: 10, WCET: 2, Deadline: -1},
+		{Period: 10, WCET: 2, Offset: -1},
+		{Period: 10, WCET: 12},             // WCET above implicit deadline
+		{Period: 10, WCET: 6, Deadline: 5}, // WCET above constrained deadline
+	}
+	for i, tk := range bad {
+		if err := tk.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, tk)
+		}
+	}
+	if err := (System{}).Validate(); err == nil {
+		t.Error("empty system should fail")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u := avionics().Utilization()
+	want := 2.0/10 + 5.0/20 + 8.0/40
+	if math.Abs(u-want) > 1e-12 {
+		t.Errorf("utilization = %g, want %g", u, want)
+	}
+}
+
+func TestHyperperiod(t *testing.T) {
+	hp, err := avionics().Hyperperiod(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hp != 40 {
+		t.Errorf("hyperperiod = %g, want lcm(10,20,40) = 40", hp)
+	}
+	// Fractional periods on a finer quantum.
+	s := System{{Period: 0.3, WCET: 0.1}, {Period: 0.2, WCET: 0.05}}
+	hp, err = s.Hyperperiod(0.1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hp-0.6) > 1e-12 {
+		t.Errorf("hyperperiod = %g, want 0.6", hp)
+	}
+	// A period off the grid fails.
+	s = System{{Period: math.Pi, WCET: 1}}
+	if _, err := s.Hyperperiod(1, 0); err == nil {
+		t.Error("irrational period should fail on integer quantum")
+	}
+}
+
+func TestUnrollJobCountsAndWindows(t *testing.T) {
+	ts, err := Unroll(avionics(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Task 1: releases 0,10,20,30 → 4 jobs; task 2: 0,20 → 2; task 3: 5 → 1.
+	if len(ts) != 7 {
+		t.Fatalf("jobs = %d, want 7", len(ts))
+	}
+	// Every job's window equals its source task's relative deadline.
+	for _, job := range ts {
+		w := job.Window()
+		if math.Abs(w-10) > 1e-12 && math.Abs(w-15) > 1e-12 && math.Abs(w-40) > 1e-12 {
+			t.Errorf("unexpected window %g for %v", w, job)
+		}
+	}
+}
+
+func TestUnrollPeriodicSpacing(t *testing.T) {
+	s := System{{Period: 7, WCET: 1}}
+	ts, err := Unroll(s, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ts); i++ {
+		if math.Abs(ts[i].Release-ts[i-1].Release-7) > 1e-12 {
+			t.Fatalf("releases not 7 apart: %v", ts)
+		}
+	}
+}
+
+func TestUnrollSporadicGapsAtLeastPeriod(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s := System{{Period: 7, WCET: 1}}
+	ts, err := UnrollSporadic(rng, s, 200, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(ts); i++ {
+		gap := ts[i].Release - ts[i-1].Release
+		if gap < 7-1e-9 {
+			t.Fatalf("sporadic gap %g below the minimum inter-arrival 7", gap)
+		}
+		if gap > 7*1.5+1e-9 {
+			t.Fatalf("sporadic gap %g above the jitter bound", gap)
+		}
+	}
+}
+
+func TestUnrolledSystemSchedulable(t *testing.T) {
+	// The unrolled avionics system schedules cleanly through the paper's
+	// pipeline and meets every job deadline.
+	ts, err := Unroll(avionics(), 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.Unit(3, 0.05)
+	res, err := core.Schedule(ts, 2, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalEnergy <= 0 {
+		t.Error("non-positive energy")
+	}
+	done := res.Final.CompletedWork()
+	for _, job := range ts {
+		if done[job.ID] < job.Work*(1-1e-6) {
+			t.Errorf("job %d incomplete", job.ID)
+		}
+	}
+}
+
+func TestUnrollErrors(t *testing.T) {
+	if _, err := Unroll(avionics(), 0); err == nil {
+		t.Error("zero horizon should fail")
+	}
+	if _, err := Unroll(System{{Period: 10, WCET: 1, Offset: 100}}, 50); err == nil {
+		t.Error("no job in horizon should fail")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := UnrollSporadic(rng, avionics(), 40, -1); err == nil {
+		t.Error("negative jitter should fail")
+	}
+}
+
+func TestHyperperiodOverflowGuard(t *testing.T) {
+	// Coprime giant periods overflow int64 LCM on a fine quantum.
+	s := System{
+		{Period: 1e9 + 7, WCET: 1, Deadline: 1e9},
+		{Period: 1e9 + 9, WCET: 1, Deadline: 1e9},
+		{Period: 1e9 + 21, WCET: 1, Deadline: 1e9},
+	}
+	if _, err := s.Hyperperiod(1, 0); err == nil {
+		t.Error("expected overflow error")
+	}
+}
+
+func BenchmarkUnroll(b *testing.B) {
+	s := avionics()
+	for i := 0; i < b.N; i++ {
+		if _, err := Unroll(s, 400); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package plot renders experiment results as terminal line charts so the
+// paper's figures can be eyeballed without leaving the shell: one glyph
+// per series, a framed canvas with y-axis labels, and a legend. The
+// renderer is deliberately simple — nearest-cell rasterization of series
+// points connected by vertical interpolation — but faithful enough to
+// compare curve shapes against the paper.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// Options controls the canvas.
+type Options struct {
+	Width  int // columns of the plotting area (default 60)
+	Height int // rows of the plotting area (default 16)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width < 16 {
+		o.Width = 60
+	}
+	if o.Height < 5 {
+		o.Height = 16
+	}
+	return o
+}
+
+// seriesGlyphs assigns one mark per series, in order.
+var seriesGlyphs = []rune{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Render draws all series of the result over its points' X values.
+// Points with NaN means are skipped.
+func Render(r *experiments.Result, opts Options) string {
+	opts = opts.withDefaults()
+	if len(r.Points) == 0 {
+		return "(no data)\n"
+	}
+	// Collect coordinates.
+	type curve struct {
+		name  string
+		glyph rune
+		xs    []float64
+		ys    []float64
+	}
+	var curves []curve
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range r.SeriesOrder {
+		c := curve{name: s, glyph: seriesGlyphs[si%len(seriesGlyphs)]}
+		for pi, p := range r.Points {
+			sum, ok := p.Series[s]
+			if !ok || math.IsNaN(sum.Mean) {
+				continue
+			}
+			x := p.X
+			if x == 0 && pi > 0 && r.Points[pi-1].X == 0 {
+				x = float64(pi) // fall back to index when X is unset
+			}
+			c.xs = append(c.xs, x)
+			c.ys = append(c.ys, sum.Mean)
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, sum.Mean), math.Max(maxY, sum.Mean)
+		}
+		if len(c.xs) > 0 {
+			curves = append(curves, c)
+		}
+	}
+	if len(curves) == 0 {
+		return "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	// Pad the y-range slightly so extremes are visible.
+	pad := (maxY - minY) * 0.05
+	minY -= pad
+	maxY += pad
+
+	grid := make([][]rune, opts.Height)
+	for i := range grid {
+		grid[i] = []rune(strings.Repeat(" ", opts.Width))
+	}
+	toCol := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(opts.Width-1)))
+		return clampInt(c, 0, opts.Width-1)
+	}
+	toRow := func(y float64) int {
+		rr := int(math.Round((maxY - y) / (maxY - minY) * float64(opts.Height-1)))
+		return clampInt(rr, 0, opts.Height-1)
+	}
+	for _, c := range curves {
+		prevCol, prevRow := -1, -1
+		for i := range c.xs {
+			col, row := toCol(c.xs[i]), toRow(c.ys[i])
+			grid[row][col] = c.glyph
+			// Connect to the previous point with a sparse vertical trail
+			// when the jump is large, to keep curves readable.
+			if prevCol >= 0 && col > prevCol {
+				for cc := prevCol + 1; cc < col; cc++ {
+					t := float64(cc-prevCol) / float64(col-prevCol)
+					rr := int(math.Round(float64(prevRow) + t*float64(row-prevRow)))
+					rr = clampInt(rr, 0, opts.Height-1)
+					if grid[rr][cc] == ' ' {
+						grid[rr][cc] = '·'
+					}
+				}
+			}
+			prevCol, prevRow = col, row
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", r.ID, r.Title)
+	for i, row := range grid {
+		yVal := maxY - (maxY-minY)*float64(i)/float64(opts.Height-1)
+		fmt.Fprintf(&b, "%9.4f |%s|\n", yVal, string(row))
+	}
+	fmt.Fprintf(&b, "%9s +%s+\n", "", strings.Repeat("-", opts.Width))
+	fmt.Fprintf(&b, "%9s  %-*.4g%*.4g\n", r.XLabel, opts.Width/2, minX, opts.Width-opts.Width/2, maxX)
+	b.WriteString("          ")
+	for _, c := range curves {
+		fmt.Fprintf(&b, " %c=%s", c.glyph, c.name)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,106 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func makeResult() *experiments.Result {
+	r := &experiments.Result{
+		ID: "test", Title: "demo", XLabel: "p0",
+		SeriesOrder: []string{"F1", "F2"},
+	}
+	for i := 0; i < 6; i++ {
+		x := float64(i) * 0.04
+		r.Points = append(r.Points, experiments.Point{
+			X:     x,
+			Label: "",
+			Series: map[string]stats.Summary{
+				"F1": {Mean: 1.5 - 0.05*float64(i)},
+				"F2": {Mean: 1.08 - 0.01*float64(i)},
+			},
+		})
+	}
+	return r
+}
+
+func TestRenderContainsFrameAndLegend(t *testing.T) {
+	out := Render(makeResult(), Options{})
+	for _, frag := range []string{"test — demo", "o=F1", "x=F2", "p0", "+--"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("render missing %q:\n%s", frag, out)
+		}
+	}
+	// Both glyphs plotted at least once per point.
+	if strings.Count(out, "o") < 3 || strings.Count(out, "x") < 3 {
+		t.Errorf("too few marks:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	r := &experiments.Result{ID: "e", SeriesOrder: []string{"A"}}
+	if out := Render(r, Options{}); !strings.Contains(out, "no data") {
+		t.Errorf("expected no-data placeholder, got %q", out)
+	}
+}
+
+func TestRenderSkipsNaN(t *testing.T) {
+	r := makeResult()
+	r.Points[2].Series["F1"] = stats.Summary{Mean: math.NaN()}
+	out := Render(r, Options{})
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into render:\n%s", out)
+	}
+}
+
+func TestRenderRespectsDimensions(t *testing.T) {
+	out := Render(makeResult(), Options{Width: 30, Height: 8})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 8 canvas rows + frame + x labels + legend = 12.
+	if len(lines) != 12 {
+		t.Errorf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, l := range lines[1:9] {
+		if !strings.Contains(l, "|") {
+			t.Errorf("canvas row missing frame: %q", l)
+		}
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	r := &experiments.Result{
+		ID: "const", Title: "flat", XLabel: "x",
+		SeriesOrder: []string{"A"},
+	}
+	for i := 0; i < 4; i++ {
+		r.Points = append(r.Points, experiments.Point{
+			X:      float64(i),
+			Series: map[string]stats.Summary{"A": {Mean: 2}},
+		})
+	}
+	out := Render(r, Options{})
+	if !strings.Contains(out, "o=A") {
+		t.Errorf("flat series should render:\n%s", out)
+	}
+}
+
+func TestGlyphCycling(t *testing.T) {
+	r := &experiments.Result{ID: "many", XLabel: "x"}
+	for i := 0; i < 10; i++ {
+		name := strings.Repeat("s", i+1)
+		r.SeriesOrder = append(r.SeriesOrder, name)
+	}
+	p := experiments.Point{X: 1, Series: map[string]stats.Summary{}}
+	for _, s := range r.SeriesOrder {
+		p.Series[s] = stats.Summary{Mean: 1}
+	}
+	r.Points = []experiments.Point{p}
+	out := Render(r, Options{})
+	if out == "" {
+		t.Error("empty render with many series")
+	}
+}

@@ -1,0 +1,136 @@
+package power
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Level is one operating point of a practical DVFS processor.
+type Level struct {
+	Frequency float64 // e.g. MHz
+	Power     float64 // e.g. mW, measured at that frequency
+}
+
+// Table is an ascending list of discrete operating points, the practical
+// counterpart of Model (Section VI.C: "practical processing cores are only
+// able to execute on a set of discrete frequency values").
+type Table struct {
+	levels []Level
+}
+
+// NewTable builds a Table from operating points; the points are sorted by
+// frequency and validated (positive, strictly increasing frequencies,
+// positive non-decreasing powers).
+func NewTable(levels ...Level) (*Table, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("power: table needs at least one level")
+	}
+	ls := make([]Level, len(levels))
+	copy(ls, levels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Frequency < ls[j].Frequency })
+	for i, l := range ls {
+		if l.Frequency <= 0 || l.Power <= 0 {
+			return nil, fmt.Errorf("power: level %d (%g MHz, %g mW) must be positive", i, l.Frequency, l.Power)
+		}
+		if i > 0 {
+			if l.Frequency == ls[i-1].Frequency {
+				return nil, fmt.Errorf("power: duplicate frequency %g", l.Frequency)
+			}
+			if l.Power < ls[i-1].Power {
+				return nil, fmt.Errorf("power: power must be non-decreasing in frequency (level %d)", i)
+			}
+		}
+	}
+	return &Table{levels: ls}, nil
+}
+
+// MustNewTable is NewTable but panics on error.
+func MustNewTable(levels ...Level) *Table {
+	t, err := NewTable(levels...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// IntelXScale returns the frequency/power characteristics of the Intel
+// XScale processor used in Section VI.C (Table III): frequencies in MHz,
+// powers in mW.
+func IntelXScale() *Table {
+	return MustNewTable(
+		Level{Frequency: 150, Power: 80},
+		Level{Frequency: 400, Power: 170},
+		Level{Frequency: 600, Power: 400},
+		Level{Frequency: 800, Power: 900},
+		Level{Frequency: 1000, Power: 1600},
+	)
+}
+
+// Levels returns a copy of the operating points in ascending frequency.
+func (t *Table) Levels() []Level {
+	out := make([]Level, len(t.levels))
+	copy(out, t.levels)
+	return out
+}
+
+// Len returns the number of operating points.
+func (t *Table) Len() int { return len(t.levels) }
+
+// MinFrequency returns the lowest available frequency.
+func (t *Table) MinFrequency() float64 { return t.levels[0].Frequency }
+
+// MaxFrequency returns the highest available frequency.
+func (t *Table) MaxFrequency() float64 { return t.levels[len(t.levels)-1].Frequency }
+
+// Level returns the i-th operating point in ascending frequency order.
+func (t *Table) Level(i int) Level { return t.levels[i] }
+
+// RoundUp returns the lowest operating point with frequency ≥ f, which is
+// the deadline-safe quantization. ok is false when f exceeds the maximum
+// frequency — the task cannot be served and will miss its deadline (the
+// phenomenon behind the paper's deadline-miss-probability remarks).
+func (t *Table) RoundUp(f float64) (Level, bool) {
+	i := sort.Search(len(t.levels), func(i int) bool { return t.levels[i].Frequency >= f })
+	if i == len(t.levels) {
+		return Level{}, false
+	}
+	return t.levels[i], true
+}
+
+// RoundNearest returns the operating point whose frequency is closest to
+// f (ties go up). Unlike RoundUp this may select a frequency below f and
+// therefore jeopardize deadlines; it exists for the quantization ablation.
+func (t *Table) RoundNearest(f float64) Level {
+	i := sort.Search(len(t.levels), func(i int) bool { return t.levels[i].Frequency >= f })
+	switch {
+	case i == 0:
+		return t.levels[0]
+	case i == len(t.levels):
+		return t.levels[len(t.levels)-1]
+	default:
+		lo, hi := t.levels[i-1], t.levels[i]
+		if f-lo.Frequency < hi.Frequency-f {
+			return lo
+		}
+		return hi
+	}
+}
+
+// Power returns the table power at frequency f, which must be one of the
+// operating points.
+func (t *Table) Power(f float64) (float64, error) {
+	i := sort.Search(len(t.levels), func(i int) bool { return t.levels[i].Frequency >= f })
+	if i < len(t.levels) && t.levels[i].Frequency == f {
+		return t.levels[i].Power, nil
+	}
+	return 0, fmt.Errorf("power: %g is not an operating point", f)
+}
+
+// Energy returns the energy of executing work w at operating point l:
+// measured power times w/f.
+func (l Level) Energy(w float64) float64 {
+	if w == 0 {
+		return 0
+	}
+	return l.Power * w / l.Frequency
+}

@@ -1,0 +1,223 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewTableValidation(t *testing.T) {
+	if _, err := NewTable(); err == nil {
+		t.Error("empty table should fail")
+	}
+	if _, err := NewTable(Level{Frequency: 0, Power: 10}); err == nil {
+		t.Error("zero frequency should fail")
+	}
+	if _, err := NewTable(Level{Frequency: 100, Power: 0}); err == nil {
+		t.Error("zero power should fail")
+	}
+	if _, err := NewTable(
+		Level{Frequency: 100, Power: 10},
+		Level{Frequency: 100, Power: 20},
+	); err == nil {
+		t.Error("duplicate frequency should fail")
+	}
+	if _, err := NewTable(
+		Level{Frequency: 100, Power: 30},
+		Level{Frequency: 200, Power: 20},
+	); err == nil {
+		t.Error("decreasing power should fail")
+	}
+}
+
+func TestNewTableSorts(t *testing.T) {
+	tab, err := NewTable(
+		Level{Frequency: 400, Power: 170},
+		Level{Frequency: 150, Power: 80},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.MinFrequency() != 150 || tab.MaxFrequency() != 400 {
+		t.Errorf("min/max = %g/%g", tab.MinFrequency(), tab.MaxFrequency())
+	}
+}
+
+func TestIntelXScaleTable(t *testing.T) {
+	tab := IntelXScale()
+	if tab.Len() != 5 {
+		t.Fatalf("XScale has %d levels", tab.Len())
+	}
+	wantF := []float64{150, 400, 600, 800, 1000}
+	wantP := []float64{80, 170, 400, 900, 1600}
+	for i, l := range tab.Levels() {
+		if l.Frequency != wantF[i] || l.Power != wantP[i] {
+			t.Errorf("level %d = %+v, want (%g, %g)", i, l, wantF[i], wantP[i])
+		}
+	}
+}
+
+func TestRoundUp(t *testing.T) {
+	tab := IntelXScale()
+	cases := []struct {
+		f    float64
+		want float64
+		ok   bool
+	}{
+		{100, 150, true},
+		{150, 150, true},
+		{151, 400, true},
+		{400, 400, true},
+		{999, 1000, true},
+		{1000, 1000, true},
+		{1000.1, 0, false},
+	}
+	for _, c := range cases {
+		l, ok := tab.RoundUp(c.f)
+		if ok != c.ok {
+			t.Errorf("RoundUp(%g) ok=%v, want %v", c.f, ok, c.ok)
+			continue
+		}
+		if ok && l.Frequency != c.want {
+			t.Errorf("RoundUp(%g) = %g, want %g", c.f, l.Frequency, c.want)
+		}
+	}
+}
+
+func TestRoundUpNeverBelow(t *testing.T) {
+	tab := IntelXScale()
+	f := func(raw float64) bool {
+		freq := math.Mod(math.Abs(raw), 1000)
+		if freq == 0 {
+			freq = 1
+		}
+		l, ok := tab.RoundUp(freq)
+		return ok && l.Frequency >= freq
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRoundNearest(t *testing.T) {
+	tab := IntelXScale()
+	cases := []struct {
+		f    float64
+		want float64
+	}{
+		{10, 150},
+		{270, 150}, // 120 below 400 vs 125 above 150... |270-150|=120, |270-400|=130 → 150
+		{280, 400}, // |280-150|=130 > |280-400|=120 → 400
+		{500, 600}, // tie goes up: |500-400| = |500-600| = 100
+		{2000, 1000},
+	}
+	for _, c := range cases {
+		if got := tab.RoundNearest(c.f); got.Frequency != c.want {
+			t.Errorf("RoundNearest(%g) = %g, want %g", c.f, got.Frequency, c.want)
+		}
+	}
+}
+
+func TestTablePowerLookup(t *testing.T) {
+	tab := IntelXScale()
+	p, err := tab.Power(600)
+	if err != nil || p != 400 {
+		t.Errorf("Power(600) = %g, %v", p, err)
+	}
+	if _, err := tab.Power(601); err == nil {
+		t.Error("non-operating-point lookup should fail")
+	}
+}
+
+func TestLevelEnergy(t *testing.T) {
+	l := Level{Frequency: 400, Power: 170}
+	// 4000 Mcycles at 400 MHz takes 10 s → 1700 mJ (mW·s).
+	if got := l.Energy(4000); math.Abs(got-1700) > 1e-9 {
+		t.Errorf("Energy = %g, want 1700", got)
+	}
+	if l.Energy(0) != 0 {
+		t.Error("zero work should cost zero energy")
+	}
+}
+
+func TestFitXScale(t *testing.T) {
+	res, err := FitDefault(IntelXScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := res.Model
+	// The paper reports p(f) = 3.855e-6·f^2.867 + 63.58 for this table
+	// (mW, MHz). Our least-squares fit should land in the same
+	// neighbourhood.
+	if m.Alpha < 2.5 || m.Alpha > 3.2 {
+		t.Errorf("fitted alpha = %g, expected near 2.867", m.Alpha)
+	}
+	if m.P0 < 20 || m.P0 > 110 {
+		t.Errorf("fitted p0 = %g, expected near 63.58", m.P0)
+	}
+	// The fitted curve must track the table closely (RMSE within a few
+	// percent of the largest power).
+	if res.RMSE > 40 {
+		t.Errorf("RMSE = %g mW too large", res.RMSE)
+	}
+	// Check predictions at the endpoints.
+	if p := m.Power(1000); math.Abs(p-1600) > 120 {
+		t.Errorf("fit at 1000 MHz: %g mW, want ≈1600", p)
+	}
+	if p := m.Power(150); math.Abs(p-80) > 40 {
+		t.Errorf("fit at 150 MHz: %g mW, want ≈80", p)
+	}
+}
+
+func TestFitRecoversExactModel(t *testing.T) {
+	// Build a synthetic table from a known model; the fitter must recover
+	// it almost exactly since the data is noise-free.
+	truth := Model{Gamma: 2e-7, Alpha: 2.9, P0: 50}
+	var levels []Level
+	for _, f := range []float64{100, 250, 500, 750, 1000} {
+		levels = append(levels, Level{Frequency: f, Power: truth.Power(f)})
+	}
+	tab := MustNewTable(levels...)
+	res, err := FitDefault(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Model.Alpha-truth.Alpha) > 1e-3 {
+		t.Errorf("alpha = %g, want %g", res.Model.Alpha, truth.Alpha)
+	}
+	if math.Abs(res.Model.P0-truth.P0) > 0.5 {
+		t.Errorf("p0 = %g, want %g", res.Model.P0, truth.P0)
+	}
+	if res.RMSE > 1e-3 {
+		t.Errorf("RMSE = %g on noise-free data", res.RMSE)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	small := MustNewTable(
+		Level{Frequency: 100, Power: 10},
+		Level{Frequency: 200, Power: 40},
+	)
+	if _, err := FitDefault(small); err == nil {
+		t.Error("fit with 2 points should fail")
+	}
+	if _, err := Fit(IntelXScale(), 3, 2); err == nil {
+		t.Error("inverted alpha range should fail")
+	}
+}
+
+func BenchmarkFitXScale(b *testing.B) {
+	tab := IntelXScale()
+	for i := 0; i < b.N; i++ {
+		if _, err := FitDefault(tab); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRoundUp(b *testing.B) {
+	tab := IntelXScale()
+	for i := 0; i < b.N; i++ {
+		tab.RoundUp(float64(i%1100) + 0.5)
+	}
+}

@@ -1,0 +1,125 @@
+// Package power implements the processor power models of the paper: the
+// continuous DVFS model p(f) = γ·f^α + p0 used throughout the analysis,
+// the discrete frequency/power tables of practical processors (Intel
+// XScale, Table III), and the curve-fitting procedure that maps a table
+// onto the continuous form (Section VI.C).
+//
+// Conventions: power is consumed only while a core actively executes
+// (idle cores sleep at zero power, Section III.B), so the energy of
+// executing w units of work at constant frequency f is
+//
+//	E(w, f) = (γ·f^α + p0) · w/f = w·(γ·f^(α-1) + p0/f).
+package power
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is the continuous power model p(f) = Gamma·f^Alpha + P0.
+// The paper mostly uses Gamma = 1; the XScale fit produces Gamma ≠ 1.
+type Model struct {
+	Gamma float64 // dynamic power coefficient γ > 0
+	Alpha float64 // dynamic power exponent α ≥ 2
+	P0    float64 // static (leakage) power ≥ 0
+}
+
+// Unit returns the canonical unit-coefficient model p(f) = f^alpha + p0.
+func Unit(alpha, p0 float64) Model { return Model{Gamma: 1, Alpha: alpha, P0: p0} }
+
+// Validate reports whether the model is physically meaningful and within
+// the paper's assumptions (α ≥ 2 guarantees convexity of the energy
+// objective, Theorem 1).
+func (m Model) Validate() error {
+	if !(m.Gamma > 0) {
+		return fmt.Errorf("power: gamma %g must be positive", m.Gamma)
+	}
+	if !(m.Alpha >= 2) {
+		return fmt.Errorf("power: alpha %g must be >= 2", m.Alpha)
+	}
+	if m.P0 < 0 || math.IsNaN(m.P0) || math.IsInf(m.P0, 0) {
+		return fmt.Errorf("power: static power %g must be finite and non-negative", m.P0)
+	}
+	return nil
+}
+
+// Power returns p(f) = γ·f^α + p0 for f ≥ 0.
+func (m Model) Power(f float64) float64 {
+	if f < 0 {
+		panic("power: negative frequency")
+	}
+	if f == 0 {
+		// A core at frequency zero is asleep (Section III.B).
+		return 0
+	}
+	return m.Gamma*math.Pow(f, m.Alpha) + m.P0
+}
+
+// EnergyRate returns the energy consumed per unit of *work* at frequency
+// f: p(f)/f = γ·f^(α-1) + p0/f. This is the integrand of Eq. (7).
+func (m Model) EnergyRate(f float64) float64 {
+	if f <= 0 {
+		panic("power: EnergyRate needs f > 0")
+	}
+	return m.Gamma*math.Pow(f, m.Alpha-1) + m.P0/f
+}
+
+// Energy returns the energy of executing work w at constant frequency f.
+func (m Model) Energy(w, f float64) float64 {
+	if w == 0 {
+		return 0
+	}
+	return w * m.EnergyRate(f)
+}
+
+// EnergyForTime returns the energy of running a core at frequency f for
+// duration t (work f·t): (γf^α + p0)·t.
+func (m Model) EnergyForTime(t, f float64) float64 {
+	if t == 0 || f == 0 {
+		return 0
+	}
+	return m.Power(f) * t
+}
+
+// CriticalFrequency returns f* = (p0/(γ(α-1)))^(1/α), the frequency that
+// minimizes energy-per-work. Below f*, the static term dominates and
+// running slower wastes energy; the paper's frequency settings are always
+// max(f*, C/available time) (Eq. 19 and the final schedules of Section V).
+// For p0 = 0 the critical frequency is 0 (stretch as much as possible).
+func (m Model) CriticalFrequency() float64 {
+	if m.P0 == 0 {
+		return 0
+	}
+	return math.Pow(m.P0/(m.Gamma*(m.Alpha-1)), 1/m.Alpha)
+}
+
+// BestFrequency returns the energy-minimal frequency for a task with work
+// w and available execution time avail: max(f*, w/avail). This is the
+// closed-form solution of the per-task problem (22)-(23).
+func (m Model) BestFrequency(w, avail float64) float64 {
+	if w <= 0 {
+		panic("power: BestFrequency needs positive work")
+	}
+	if avail <= 0 {
+		panic("power: BestFrequency needs positive available time")
+	}
+	return math.Max(m.CriticalFrequency(), w/avail)
+}
+
+// TaskEnergy returns the minimal energy for a task with work w given
+// available time avail, i.e. Energy(w, BestFrequency(w, avail)).
+func (m Model) TaskEnergy(w, avail float64) float64 {
+	return m.Energy(w, m.BestFrequency(w, avail))
+}
+
+func (m Model) String() string {
+	s := "p(f) = "
+	if m.Gamma != 1 {
+		s += fmt.Sprintf("%.4g·", m.Gamma)
+	}
+	s += fmt.Sprintf("f^%.4g", m.Alpha)
+	if m.P0 != 0 {
+		s += fmt.Sprintf(" + %.4g", m.P0)
+	}
+	return s
+}

@@ -1,0 +1,182 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		m    Model
+		ok   bool
+	}{
+		{"paper default", Unit(3, 0.01), true},
+		{"alpha 2", Unit(2, 0), true},
+		{"alpha below 2", Unit(1.5, 0), false},
+		{"zero gamma", Model{Gamma: 0, Alpha: 3, P0: 0}, false},
+		{"negative p0", Unit(3, -0.1), false},
+		{"nan p0", Unit(3, math.NaN()), false},
+	}
+	for _, c := range cases {
+		if err := c.m.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestPowerValues(t *testing.T) {
+	m := Unit(3, 0.01)
+	if got := m.Power(1); math.Abs(got-1.01) > 1e-12 {
+		t.Errorf("p(1) = %g, want 1.01", got)
+	}
+	if got := m.Power(2); math.Abs(got-8.01) > 1e-12 {
+		t.Errorf("p(2) = %g, want 8.01", got)
+	}
+	if got := m.Power(0); got != 0 {
+		t.Errorf("p(0) = %g, want 0 (sleep mode)", got)
+	}
+}
+
+func TestPowerNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative frequency should panic")
+		}
+	}()
+	Unit(3, 0).Power(-1)
+}
+
+func TestEnergyConsistency(t *testing.T) {
+	m := Unit(3, 0.25)
+	// Executing work w at frequency f takes w/f time; both accountings
+	// must agree.
+	w, f := 6.0, 1.5
+	e1 := m.Energy(w, f)
+	e2 := m.EnergyForTime(w/f, f)
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Errorf("Energy=%g, EnergyForTime=%g", e1, e2)
+	}
+}
+
+func TestEnergyZeroWork(t *testing.T) {
+	m := Unit(3, 0.25)
+	if m.Energy(0, 1) != 0 {
+		t.Error("zero work has zero energy")
+	}
+	if m.EnergyForTime(0, 1) != 0 {
+		t.Error("zero time has zero energy")
+	}
+	if m.EnergyForTime(5, 0) != 0 {
+		t.Error("zero frequency means sleeping")
+	}
+}
+
+func TestFig3TruncationExample(t *testing.T) {
+	// Paper Fig. 3: p(f) = f^2 + 0.25, one task with C = 2 and 5 time
+	// units available. Using all 5 units (f = 0.4) costs 2.05; using only
+	// 4 units (f = 0.5) costs 2.00.
+	m := Unit(2, 0.25)
+	if got := m.Energy(2, 0.4); math.Abs(got-2.05) > 1e-12 {
+		t.Errorf("E at f=0.4: %g, want 2.05", got)
+	}
+	if got := m.Energy(2, 0.5); math.Abs(got-2.00) > 1e-12 {
+		t.Errorf("E at f=0.5: %g, want 2.00", got)
+	}
+	// 0.5 is exactly the critical frequency: f* = (0.25/(2-1))^(1/2).
+	if got := m.CriticalFrequency(); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("f* = %g, want 0.5", got)
+	}
+	// BestFrequency with 5 units available picks f* = 0.5, not 0.4.
+	if got := m.BestFrequency(2, 5); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("BestFrequency = %g, want 0.5", got)
+	}
+	if got := m.TaskEnergy(2, 5); math.Abs(got-2.00) > 1e-12 {
+		t.Errorf("TaskEnergy = %g, want 2.00", got)
+	}
+}
+
+func TestCriticalFrequencyZeroStatic(t *testing.T) {
+	m := Unit(3, 0)
+	if got := m.CriticalFrequency(); got != 0 {
+		t.Errorf("f* with p0=0 should be 0, got %g", got)
+	}
+	// With p0 = 0 the best frequency always stretches to the deadline.
+	if got := m.BestFrequency(4, 8); got != 0.5 {
+		t.Errorf("BestFrequency = %g, want 0.5", got)
+	}
+}
+
+func TestCriticalFrequencyFormula(t *testing.T) {
+	f := func(p0raw, alphaRaw float64) bool {
+		p0 := 0.01 + math.Mod(math.Abs(p0raw), 1)
+		alpha := 2 + math.Mod(math.Abs(alphaRaw), 1.5)
+		m := Unit(alpha, p0)
+		fs := m.CriticalFrequency()
+		// At f*, d/df of EnergyRate must vanish:
+		// (α-1)f^(α-2) − p0/f² = 0.
+		deriv := (alpha-1)*math.Pow(fs, alpha-2) - p0/(fs*fs)
+		return math.Abs(deriv) < 1e-6*math.Max(1, p0/(fs*fs))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBestFrequencyMonotone(t *testing.T) {
+	// More available time never increases the best frequency, and energy
+	// never increases with more time.
+	m := Unit(3, 0.1)
+	prevF, prevE := math.Inf(1), math.Inf(1)
+	for avail := 0.5; avail < 50; avail *= 1.5 {
+		f := m.BestFrequency(10, avail)
+		e := m.TaskEnergy(10, avail)
+		if f > prevF+1e-12 {
+			t.Errorf("BestFrequency increased with more time at avail=%g", avail)
+		}
+		if e > prevE+1e-12 {
+			t.Errorf("TaskEnergy increased with more time at avail=%g", avail)
+		}
+		prevF, prevE = f, e
+	}
+}
+
+func TestBestFrequencyAtLeastIntensity(t *testing.T) {
+	f := func(w, avail, p0 float64) bool {
+		w = 0.1 + math.Mod(math.Abs(w), 100)
+		avail = 0.1 + math.Mod(math.Abs(avail), 100)
+		p0 = math.Mod(math.Abs(p0), 0.5)
+		m := Unit(3, p0)
+		bf := m.BestFrequency(w, avail)
+		return bf >= w/avail-1e-12 && bf >= m.CriticalFrequency()-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEnergyRateMinimizedAtCritical(t *testing.T) {
+	m := Unit(3, 0.2)
+	fs := m.CriticalFrequency()
+	base := m.EnergyRate(fs)
+	for _, d := range []float64{-0.05, -0.01, 0.01, 0.05, 0.5} {
+		f := fs + d
+		if f <= 0 {
+			continue
+		}
+		if m.EnergyRate(f) < base-1e-12 {
+			t.Errorf("EnergyRate(%g)=%g below EnergyRate(f*)=%g", f, m.EnergyRate(f), base)
+		}
+	}
+}
+
+func TestStringer(t *testing.T) {
+	if got := Unit(3, 0.01).String(); got != "p(f) = f^3 + 0.01" {
+		t.Errorf("String() = %q", got)
+	}
+	m := Model{Gamma: 3.855e-7, Alpha: 2.867, P0: 63.58}
+	if got := m.String(); got == "" {
+		t.Error("String() empty for fitted model")
+	}
+}

@@ -1,0 +1,119 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// CoreSummary describes one core's usage within a schedule.
+type CoreSummary struct {
+	Core     int
+	Busy     float64 // total executing time
+	Segments int
+	Tasks    int     // distinct tasks that touched the core
+	MinFreq  float64 // lowest frequency used (0 when never used)
+	MaxFreq  float64
+}
+
+// CoreSummaries returns per-core usage statistics, indexed by core.
+func (s *Schedule) CoreSummaries() []CoreSummary {
+	out := make([]CoreSummary, s.Cores)
+	tasks := make([]map[int]bool, s.Cores)
+	for c := range out {
+		out[c].Core = c
+		tasks[c] = map[int]bool{}
+	}
+	for _, seg := range s.Segments {
+		if seg.Core < 0 || seg.Core >= s.Cores {
+			continue
+		}
+		cs := &out[seg.Core]
+		cs.Busy += seg.Duration()
+		cs.Segments++
+		tasks[seg.Core][seg.Task] = true
+		if cs.MinFreq == 0 || seg.Frequency < cs.MinFreq {
+			cs.MinFreq = seg.Frequency
+		}
+		if seg.Frequency > cs.MaxFreq {
+			cs.MaxFreq = seg.Frequency
+		}
+	}
+	for c := range out {
+		out[c].Tasks = len(tasks[c])
+	}
+	return out
+}
+
+// FrequencyHistogram returns the total execution time spent at each
+// distinct frequency, as (frequency, time) pairs in ascending frequency
+// order. Useful for judging how a schedule would map onto a discrete
+// frequency table.
+func (s *Schedule) FrequencyHistogram() []struct{ Frequency, Time float64 } {
+	acc := map[float64]float64{}
+	for _, seg := range s.Segments {
+		acc[seg.Frequency] += seg.Duration()
+	}
+	out := make([]struct{ Frequency, Time float64 }, 0, len(acc))
+	for f, t := range acc {
+		out = append(out, struct{ Frequency, Time float64 }{f, t})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Frequency < out[j].Frequency })
+	return out
+}
+
+// PeakFrequency returns the highest frequency any segment uses (0 for an
+// empty schedule) — the quantity that decides discrete-table
+// serviceability.
+func (s *Schedule) PeakFrequency() float64 {
+	var m float64
+	for _, seg := range s.Segments {
+		if seg.Frequency > m {
+			m = seg.Frequency
+		}
+	}
+	return m
+}
+
+// Coalesce merges adjacent segments that run the same task on the same
+// core at the same frequency with no gap (within tol), in place. Builders
+// that work subinterval-by-subinterval produce many such splits; merging
+// them reduces apparent preemptions and sleep transitions without
+// changing the executed schedule at all.
+func (s *Schedule) Coalesce(tol float64) {
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	if len(s.Segments) < 2 {
+		return
+	}
+	segs := s.sortSegments()
+	out := segs[:0]
+	for _, seg := range segs {
+		if n := len(out); n > 0 {
+			last := &out[n-1]
+			if last.Core == seg.Core && last.Task == seg.Task &&
+				last.Frequency == seg.Frequency &&
+				seg.Start <= last.End+tol {
+				if seg.End > last.End {
+					last.End = seg.End
+				}
+				continue
+			}
+		}
+		out = append(out, seg)
+	}
+	s.Segments = out
+}
+
+// SummaryTable renders CoreSummaries as an aligned text table.
+func (s *Schedule) SummaryTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %10s %10s %8s %10s %10s\n",
+		"core", "busy", "segments", "tasks", "min f", "max f")
+	for _, cs := range s.CoreSummaries() {
+		fmt.Fprintf(&b, "M%-5d %10.3f %10d %8d %10.4f %10.4f\n",
+			cs.Core, cs.Busy, cs.Segments, cs.Tasks, cs.MinFreq, cs.MaxFreq)
+	}
+	return b.String()
+}

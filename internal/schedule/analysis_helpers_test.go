@@ -1,0 +1,38 @@
+package schedule
+
+import (
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// powerUnitForTest returns the shared test model without importing power
+// in every test body.
+func powerUnitForTest() power.Model { return power.Unit(3, 0.01) }
+
+// coreScheduleForTest builds a pipeline result; declared via an
+// interface-free seam to avoid an import cycle (schedule cannot import
+// core), so the fixture is constructed manually.
+func coreScheduleForTest(t *testing.T, ts task.Set) *fixtureResult {
+	t.Helper()
+	// Manual realization of the Section V.D even-allocation schedule:
+	// reuse the fig2b-style construction on the six-task example is
+	// overkill here; a synthetic multi-segment schedule suffices.
+	s := New(ts, 4)
+	f := 1.0
+	times := []struct{ t0, t1 float64 }{{0, 2}, {2, 4}, {4, 6}, {6, 8}}
+	for i, tt := range times {
+		s.Add(Segment{Task: 0, Core: 0, Start: tt.t0, End: tt.t1, Frequency: f})
+		_ = i
+	}
+	// Complete the work of the remaining tasks crudely on other cores.
+	s.Add(Segment{Task: 1, Core: 1, Start: 2, End: 18, Frequency: 14.0 / 16})
+	s.Add(Segment{Task: 2, Core: 2, Start: 4, End: 16, Frequency: 8.0 / 12})
+	s.Add(Segment{Task: 3, Core: 3, Start: 6, End: 14, Frequency: 4.0 / 8})
+	s.Add(Segment{Task: 4, Core: 1, Start: 18, End: 20, Frequency: 5})
+	s.Add(Segment{Task: 5, Core: 2, Start: 16, End: 22, Frequency: 1})
+	return &fixtureResult{Final: s}
+}
+
+type fixtureResult struct{ Final *Schedule }

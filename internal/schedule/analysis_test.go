@@ -1,0 +1,139 @@
+package schedule
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/task"
+)
+
+func analysisFixture() *Schedule {
+	ts := task.MustNew(
+		[3]float64{0, 2, 10},
+		[3]float64{0, 3, 10},
+		[3]float64{0, 1, 10},
+	)
+	s := New(ts, 2)
+	s.Add(Segment{Task: 0, Core: 0, Start: 0, End: 4, Frequency: 0.5})
+	s.Add(Segment{Task: 1, Core: 0, Start: 4, End: 7, Frequency: 1.0})
+	s.Add(Segment{Task: 2, Core: 1, Start: 0, End: 2, Frequency: 0.5})
+	return s
+}
+
+func TestCoreSummaries(t *testing.T) {
+	s := analysisFixture()
+	cs := s.CoreSummaries()
+	if len(cs) != 2 {
+		t.Fatalf("summaries = %d", len(cs))
+	}
+	if cs[0].Busy != 7 || cs[0].Segments != 2 || cs[0].Tasks != 2 {
+		t.Errorf("core 0 summary = %+v", cs[0])
+	}
+	if cs[0].MinFreq != 0.5 || cs[0].MaxFreq != 1.0 {
+		t.Errorf("core 0 freq range = [%g, %g]", cs[0].MinFreq, cs[0].MaxFreq)
+	}
+	if cs[1].Busy != 2 || cs[1].Tasks != 1 {
+		t.Errorf("core 1 summary = %+v", cs[1])
+	}
+}
+
+func TestFrequencyHistogram(t *testing.T) {
+	s := analysisFixture()
+	h := s.FrequencyHistogram()
+	if len(h) != 2 {
+		t.Fatalf("histogram = %+v", h)
+	}
+	if h[0].Frequency != 0.5 || math.Abs(h[0].Time-6) > 1e-12 {
+		t.Errorf("bin 0 = %+v, want 0.5 → 6", h[0])
+	}
+	if h[1].Frequency != 1.0 || math.Abs(h[1].Time-3) > 1e-12 {
+		t.Errorf("bin 1 = %+v, want 1.0 → 3", h[1])
+	}
+	// Histogram mass equals total busy time.
+	var sum float64
+	for _, bin := range h {
+		sum += bin.Time
+	}
+	if math.Abs(sum-s.BusyTime()) > 1e-12 {
+		t.Errorf("histogram mass %g != busy time %g", sum, s.BusyTime())
+	}
+}
+
+func TestPeakFrequency(t *testing.T) {
+	s := analysisFixture()
+	if got := s.PeakFrequency(); got != 1.0 {
+		t.Errorf("peak = %g", got)
+	}
+	empty := New(task.MustNew([3]float64{0, 1, 2}), 1)
+	if got := empty.PeakFrequency(); got != 0 {
+		t.Errorf("empty peak = %g", got)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	out := analysisFixture().SummaryTable()
+	for _, frag := range []string{"core", "M0", "M1", "7.000", "2.000"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("summary missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestCoalesceMergesAdjacent(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 4, 10})
+	s := New(ts, 1)
+	s.Add(Segment{Task: 0, Core: 0, Start: 0, End: 2, Frequency: 0.5})
+	s.Add(Segment{Task: 0, Core: 0, Start: 2, End: 5, Frequency: 0.5})
+	s.Add(Segment{Task: 0, Core: 0, Start: 5, End: 8, Frequency: 0.5})
+	before := s.Energy(powerUnitForTest())
+	s.Coalesce(0)
+	if len(s.Segments) != 1 {
+		t.Fatalf("segments = %d, want 1", len(s.Segments))
+	}
+	seg := s.Segments[0]
+	if seg.Start != 0 || seg.End != 8 {
+		t.Errorf("merged segment = %v", seg)
+	}
+	if after := s.Energy(powerUnitForTest()); math.Abs(after-before) > 1e-12 {
+		t.Errorf("energy changed: %g vs %g", after, before)
+	}
+}
+
+func TestCoalesceRespectsBoundaries(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 4, 20}, [3]float64{0, 4, 20})
+	s := New(ts, 2)
+	// Different frequency → no merge.
+	s.Add(Segment{Task: 0, Core: 0, Start: 0, End: 2, Frequency: 0.5})
+	s.Add(Segment{Task: 0, Core: 0, Start: 2, End: 4, Frequency: 0.6})
+	// Different task → no merge.
+	s.Add(Segment{Task: 1, Core: 0, Start: 4, End: 6, Frequency: 0.6})
+	// Gap → no merge.
+	s.Add(Segment{Task: 1, Core: 0, Start: 8, End: 10, Frequency: 0.6})
+	// Different core → no merge.
+	s.Add(Segment{Task: 1, Core: 1, Start: 10, End: 12, Frequency: 0.6})
+	s.Coalesce(0)
+	if len(s.Segments) != 5 {
+		t.Errorf("segments = %d, want 5 (nothing mergeable)", len(s.Segments))
+	}
+}
+
+func TestCoalesceRealPipelineOutput(t *testing.T) {
+	// Coalescing scheduler output must preserve validity and energy while
+	// reducing (or keeping) the segment count.
+	ts := task.SectionVDExample()
+	pm := powerUnitForTest()
+	res := coreScheduleForTest(t, ts)
+	before := len(res.Final.Segments)
+	e := res.Final.Energy(pm)
+	res.Final.Coalesce(0)
+	if len(res.Final.Segments) > before {
+		t.Error("coalesce increased segment count")
+	}
+	if errs := res.Final.Validate(1e-6, true); len(errs) > 0 {
+		t.Fatalf("coalesced schedule invalid: %v", errs)
+	}
+	if math.Abs(res.Final.Energy(pm)-e) > 1e-9 {
+		t.Error("coalesce changed energy")
+	}
+}

@@ -1,0 +1,71 @@
+package schedule
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/task"
+)
+
+// TestCoalescePropertyPreservesSemantics: coalescing arbitrary valid-ish
+// segment soups never changes busy time, per-task completed work, or
+// energy, and never increases the segment count.
+func TestCoalescePropertyPreservesSemantics(t *testing.T) {
+	pm := powerUnitForTest()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		triples := make([][3]float64, n)
+		for i := range triples {
+			triples[i] = [3]float64{0, 1, 1000}
+		}
+		ts := task.MustNew(triples...)
+		s := New(ts, 2)
+		// Random non-overlapping per-core chains with repeated tasks and
+		// a small set of frequencies so merges actually occur.
+		freqs := []float64{0.5, 1.0}
+		for c := 0; c < 2; c++ {
+			t0 := 0.0
+			for k := 0; k < 3+rng.Intn(8); k++ {
+				d := 0.25 + rng.Float64()
+				if rng.Float64() < 0.3 {
+					t0 += rng.Float64() // insert a gap
+				}
+				s.Add(Segment{
+					Task:      rng.Intn(n),
+					Core:      c,
+					Start:     t0,
+					End:       t0 + d,
+					Frequency: freqs[rng.Intn(len(freqs))],
+				})
+				t0 += d
+			}
+		}
+		busy := s.BusyTime()
+		energy := s.Energy(pm)
+		work := s.CompletedWork()
+		count := len(s.Segments)
+		s.Coalesce(0)
+		if len(s.Segments) > count {
+			return false
+		}
+		if math.Abs(s.BusyTime()-busy) > 1e-9 {
+			return false
+		}
+		if math.Abs(s.Energy(pm)-energy) > 1e-9 {
+			return false
+		}
+		after := s.CompletedWork()
+		for id, w := range work {
+			if math.Abs(after[id]-w) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,120 @@
+package schedule
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders an ASCII Gantt chart of the schedule, one row per core,
+// width columns wide. Each cell shows the task occupying the core at that
+// time (digit ID modulo the label alphabet) or '.' when idle. A time ruler
+// is printed above the rows. Intended for CLI visualization and debugging,
+// not precise to sub-cell resolution.
+func (s *Schedule) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if len(s.Segments) == 0 {
+		return "(empty schedule)\n"
+	}
+	lo, hi := s.timeBounds()
+	if hi <= lo {
+		return "(degenerate schedule)\n"
+	}
+	cell := (hi - lo) / float64(width)
+
+	var b strings.Builder
+	b.WriteString(rulerLine(lo, hi, width))
+	rows := make([][]byte, s.Cores)
+	for c := range rows {
+		rows[c] = []byte(strings.Repeat(".", width))
+	}
+	segs := s.sortSegments()
+	for _, seg := range segs {
+		if seg.Core < 0 || seg.Core >= s.Cores {
+			continue
+		}
+		from := int((seg.Start - lo) / cell)
+		to := int((seg.End - lo) / cell)
+		if to >= width {
+			to = width - 1
+		}
+		if from < 0 {
+			from = 0
+		}
+		label := taskLabel(seg.Task)
+		for x := from; x <= to; x++ {
+			rows[seg.Core][x] = label
+		}
+	}
+	for c, row := range rows {
+		fmt.Fprintf(&b, "M%-2d |%s|\n", c, string(row))
+	}
+	b.WriteString(legendLine(segs))
+	return b.String()
+}
+
+func (s *Schedule) timeBounds() (lo, hi float64) {
+	lo, hi = s.Segments[0].Start, s.Segments[0].End
+	for _, seg := range s.Segments {
+		if seg.Start < lo {
+			lo = seg.Start
+		}
+		if seg.End > hi {
+			hi = seg.End
+		}
+	}
+	return lo, hi
+}
+
+const labelAlphabet = "0123456789abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+func taskLabel(id int) byte {
+	return labelAlphabet[id%len(labelAlphabet)]
+}
+
+func rulerLine(lo, hi float64, width int) string {
+	var b strings.Builder
+	b.WriteString("     ")
+	b.WriteString(fmt.Sprintf("%-*.4g%*.4g\n", width/2, lo, width-width/2, hi))
+	return b.String()
+}
+
+func legendLine(segs []Segment) string {
+	seen := map[int]bool{}
+	ids := []int{}
+	for _, seg := range segs {
+		if !seen[seg.Task] {
+			seen[seg.Task] = true
+			ids = append(ids, seg.Task)
+		}
+	}
+	sort.Ints(ids)
+	var b strings.Builder
+	b.WriteString("     ")
+	for i, id := range ids {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		fmt.Fprintf(&b, "%c=τ%d", taskLabel(id), id)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Describe returns a per-task textual summary: segments, frequencies, and
+// completed work — a compact alternative to the Gantt chart.
+func (s *Schedule) Describe() string {
+	var b strings.Builder
+	done := s.CompletedWork()
+	for _, tk := range s.Tasks {
+		fmt.Fprintf(&b, "%v: completed %.4g", tk, done[tk.ID])
+		freqs := s.TaskFrequencies()[tk.ID]
+		if len(freqs) > 0 {
+			fmt.Fprintf(&b, " at f=%v", freqs)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+// Package schedule represents concrete multi-core DVFS schedules: per-core
+// sequences of execution segments with frequencies, along with feasibility
+// validation (the constraints of Section III.C), exact energy accounting
+// (Eq. 7 under the sleep-when-idle convention), and an ASCII Gantt
+// renderer for inspection.
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/numeric"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// Segment is one contiguous execution of a task on a core at a constant
+// frequency over [Start, End).
+type Segment struct {
+	Task      int     // task ID
+	Core      int     // core index 0..m-1
+	Start     float64 // segment start time
+	End       float64 // segment end time (exclusive)
+	Frequency float64 // execution frequency, > 0
+}
+
+// Duration returns End − Start.
+func (s Segment) Duration() float64 { return s.End - s.Start }
+
+// Work returns the execution requirement completed during the segment,
+// f·(End − Start) (Section III.C).
+func (s Segment) Work() float64 { return s.Frequency * s.Duration() }
+
+func (s Segment) String() string {
+	return fmt.Sprintf("τ%d@M%d [%g, %g) f=%g", s.Task, s.Core, s.Start, s.End, s.Frequency)
+}
+
+// Schedule is a complete schedule of a task set on m cores.
+type Schedule struct {
+	Tasks    task.Set
+	Cores    int
+	Segments []Segment
+}
+
+// New creates an empty schedule for the given task set and core count.
+func New(ts task.Set, cores int) *Schedule {
+	return &Schedule{Tasks: ts, Cores: cores}
+}
+
+// Add appends a segment. Zero-duration segments are dropped silently so
+// construction code does not need epsilon guards.
+func (s *Schedule) Add(seg Segment) {
+	if seg.Duration() <= 0 {
+		return
+	}
+	s.Segments = append(s.Segments, seg)
+}
+
+// sortSegments orders segments by (core, start, task) for validation and
+// rendering.
+func (s *Schedule) sortSegments() []Segment {
+	segs := make([]Segment, len(s.Segments))
+	copy(segs, s.Segments)
+	sort.Slice(segs, func(i, j int) bool {
+		if segs[i].Core != segs[j].Core {
+			return segs[i].Core < segs[j].Core
+		}
+		if segs[i].Start != segs[j].Start {
+			return segs[i].Start < segs[j].Start
+		}
+		return segs[i].Task < segs[j].Task
+	})
+	return segs
+}
+
+// byTask groups segment indices by task ID.
+func (s *Schedule) byTask() map[int][]Segment {
+	out := make(map[int][]Segment, len(s.Tasks))
+	for _, seg := range s.Segments {
+		out[seg.Task] = append(out[seg.Task], seg)
+	}
+	for _, segs := range out {
+		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+	}
+	return out
+}
+
+// CompletedWork returns the total work executed for each task ID.
+func (s *Schedule) CompletedWork() map[int]float64 {
+	out := make(map[int]float64, len(s.Tasks))
+	sums := make(map[int]*numeric.KahanSum, len(s.Tasks))
+	for _, seg := range s.Segments {
+		k, ok := sums[seg.Task]
+		if !ok {
+			k = &numeric.KahanSum{}
+			sums[seg.Task] = k
+		}
+		k.Add(seg.Work())
+	}
+	for id, k := range sums {
+		out[id] = k.Value()
+	}
+	return out
+}
+
+// Energy returns the total energy of the schedule under the continuous
+// power model: Σ segments p(f)·duration. Idle cores sleep at zero power.
+func (s *Schedule) Energy(m power.Model) float64 {
+	var k numeric.KahanSum
+	for _, seg := range s.Segments {
+		k.Add(m.EnergyForTime(seg.Duration(), seg.Frequency))
+	}
+	return k.Value()
+}
+
+// BusyTime returns the total core-busy time (the Σ of all segment
+// durations), i.e. the time multiplied by static power in the energy.
+func (s *Schedule) BusyTime() float64 {
+	var k numeric.KahanSum
+	for _, seg := range s.Segments {
+		k.Add(seg.Duration())
+	}
+	return k.Value()
+}
+
+// Makespan returns the latest segment end, or 0 for an empty schedule.
+func (s *Schedule) Makespan() float64 {
+	var m float64
+	for _, seg := range s.Segments {
+		if seg.End > m {
+			m = seg.End
+		}
+	}
+	return m
+}
+
+// ValidationError describes one feasibility violation.
+type ValidationError struct {
+	Kind   string // "core-overlap", "task-parallel", "window", "work", "frequency", "core-range", "task-range"
+	Detail string
+}
+
+func (e ValidationError) Error() string { return e.Kind + ": " + e.Detail }
+
+// Validate checks the schedule against the constraints of Section III.C:
+//
+//  1. every segment runs a known task on a valid core at positive
+//     frequency;
+//  2. segments on the same core do not overlap (one task per core);
+//  3. segments of the same task do not overlap (no intra-task
+//     parallelism — a task occupies at most one core at any instant);
+//  4. every segment lies inside its task's [R_i, D_i] window;
+//  5. every task completes exactly its execution requirement C_i
+//     (within tolerance tol; completing more than C_i is allowed when
+//     allowOverwork is set, since running faster than strictly necessary
+//     never breaks timing).
+//
+// All violations found are returned, not just the first.
+func (s *Schedule) Validate(tol float64, allowOverwork bool) []ValidationError {
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	var errs []ValidationError
+	add := func(kind, format string, args ...any) {
+		errs = append(errs, ValidationError{Kind: kind, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	for _, seg := range s.Segments {
+		if seg.Task < 0 || seg.Task >= len(s.Tasks) {
+			add("task-range", "segment %v references unknown task", seg)
+			continue
+		}
+		if seg.Core < 0 || seg.Core >= s.Cores {
+			add("core-range", "segment %v uses core outside 0..%d", seg, s.Cores-1)
+		}
+		if !(seg.Frequency > 0) || math.IsInf(seg.Frequency, 0) || math.IsNaN(seg.Frequency) {
+			add("frequency", "segment %v has invalid frequency", seg)
+		}
+		tk := s.Tasks[seg.Task]
+		if seg.Start < tk.Release-tol || seg.End > tk.Deadline+tol {
+			add("window", "segment %v outside window [%g, %g]", seg, tk.Release, tk.Deadline)
+		}
+	}
+
+	// Per-core overlap.
+	segs := s.sortSegments()
+	for i := 1; i < len(segs); i++ {
+		a, b := segs[i-1], segs[i]
+		if a.Core == b.Core && b.Start < a.End-tol {
+			add("core-overlap", "%v overlaps %v on core %d", a, b, a.Core)
+		}
+	}
+
+	// Per-task overlap (no task on two cores at once).
+	for id, tsegs := range s.byTask() {
+		for i := 1; i < len(tsegs); i++ {
+			if tsegs[i].Start < tsegs[i-1].End-tol {
+				add("task-parallel", "task %d segments %v and %v overlap in time", id, tsegs[i-1], tsegs[i])
+			}
+		}
+	}
+
+	// Work completion.
+	done := s.CompletedWork()
+	for _, tk := range s.Tasks {
+		w := done[tk.ID]
+		rel := tol * math.Max(1, tk.Work)
+		switch {
+		case w < tk.Work-rel:
+			add("work", "task %d completed %g of %g", tk.ID, w, tk.Work)
+		case w > tk.Work+rel && !allowOverwork:
+			add("work", "task %d over-executed: %g of %g", tk.ID, w, tk.Work)
+		}
+	}
+	return errs
+}
+
+// AssertValid panics with a descriptive message when the schedule is
+// infeasible; intended for tests and internal consistency checks.
+func (s *Schedule) AssertValid(tol float64) {
+	if errs := s.Validate(tol, true); len(errs) > 0 {
+		panic(fmt.Sprintf("schedule invalid: %v (and %d more)", errs[0], len(errs)-1))
+	}
+}
+
+// TaskFrequencies returns the set of distinct frequencies used by each
+// task, useful for asserting the equal-frequency property of Observation 1.
+func (s *Schedule) TaskFrequencies() map[int][]float64 {
+	out := make(map[int][]float64)
+	for id, segs := range s.byTask() {
+		seen := make(map[float64]bool)
+		for _, seg := range segs {
+			if !seen[seg.Frequency] {
+				seen[seg.Frequency] = true
+				out[id] = append(out[id], seg.Frequency)
+			}
+		}
+		sort.Float64s(out[id])
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package task
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// StochasticParams describes workload generators beyond the paper's
+// uniform model, used by the robustness experiments: Poisson arrivals
+// (bursty release patterns) and bounded-Pareto execution requirements
+// (heavy-tailed work). Deadlines remain intensity-based so instances stay
+// comparable with the paper's.
+type StochasticParams struct {
+	N int
+	// ArrivalRate λ of the Poisson release process; releases are the
+	// cumulative sum of Exp(λ) interarrival gaps starting at 0.
+	ArrivalRate float64
+	// Work distribution: bounded Pareto with shape WorkShape on
+	// [WorkLo, WorkHi]. WorkShape ≤ 0 selects uniform on the same range.
+	WorkShape      float64
+	WorkLo, WorkHi float64
+	// Intensity range, as in GenParams.
+	IntensityLo, IntensityHi float64
+	// FreqScale rescales intensity (see GenParams); zero means 1.
+	FreqScale float64
+}
+
+// PoissonBurstDefaults returns a bursty workload comparable in volume to
+// PaperDefaults(n): n tasks over an expected horizon of 200 time units.
+func PoissonBurstDefaults(n int) StochasticParams {
+	return StochasticParams{
+		N:           n,
+		ArrivalRate: float64(n) / 200,
+		WorkShape:   0, // uniform work
+		WorkLo:      10,
+		WorkHi:      30,
+		IntensityLo: 0.1,
+		IntensityHi: 1.0,
+	}
+}
+
+// HeavyTailDefaults returns Poisson arrivals with bounded-Pareto work
+// (shape 1.5, the classic heavy-tail regime with finite mean and heavy
+// upper tail).
+func HeavyTailDefaults(n int) StochasticParams {
+	p := PoissonBurstDefaults(n)
+	p.WorkShape = 1.5
+	p.WorkLo = 10
+	p.WorkHi = 120
+	return p
+}
+
+// Validate checks internal consistency.
+func (p StochasticParams) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("task: stochastic N = %d must be positive", p.N)
+	}
+	if !(p.ArrivalRate > 0) {
+		return fmt.Errorf("task: arrival rate %g must be positive", p.ArrivalRate)
+	}
+	if p.WorkLo <= 0 || p.WorkHi < p.WorkLo {
+		return fmt.Errorf("task: work range [%g, %g] invalid", p.WorkLo, p.WorkHi)
+	}
+	if p.IntensityLo <= 0 || p.IntensityHi < p.IntensityLo {
+		return fmt.Errorf("task: intensity range [%g, %g] invalid", p.IntensityLo, p.IntensityHi)
+	}
+	if p.FreqScale < 0 {
+		return fmt.Errorf("task: FreqScale %g must be non-negative", p.FreqScale)
+	}
+	return nil
+}
+
+// boundedPareto samples the bounded Pareto distribution with shape a on
+// [lo, hi] by CDF inversion.
+func boundedPareto(rng *rand.Rand, a, lo, hi float64) float64 {
+	u := rng.Float64()
+	ratio := math.Pow(lo/hi, a)
+	return lo * math.Pow(1-u*(1-ratio), -1/a)
+}
+
+// GenerateStochastic draws a workload with Poisson arrivals and the
+// configured work distribution.
+func GenerateStochastic(rng *rand.Rand, p StochasticParams) (Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	scale := p.FreqScale
+	if scale == 0 {
+		scale = 1
+	}
+	s := make(Set, p.N)
+	t := 0.0
+	for i := range s {
+		if i > 0 {
+			t += rng.ExpFloat64() / p.ArrivalRate
+		}
+		var c float64
+		if p.WorkShape > 0 {
+			c = boundedPareto(rng, p.WorkShape, p.WorkLo, p.WorkHi)
+		} else {
+			c = uniform(rng, p.WorkLo, p.WorkHi)
+		}
+		in := uniform(rng, p.IntensityLo, p.IntensityHi)
+		s[i] = Task{
+			ID:       i,
+			Release:  t,
+			Work:     c,
+			Deadline: t + c/(in*scale),
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("task: generated invalid stochastic set: %w", err)
+	}
+	return s, nil
+}
+
+// MustGenerateStochastic is GenerateStochastic but panics on error.
+func MustGenerateStochastic(rng *rand.Rand, p StochasticParams) Set {
+	s, err := GenerateStochastic(rng, p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

@@ -1,0 +1,122 @@
+package task
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestGenerateStochasticBasics(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	s := MustGenerateStochastic(rng, PoissonBurstDefaults(50))
+	if len(s) != 50 {
+		t.Fatalf("n = %d", len(s))
+	}
+	// Releases are nondecreasing (cumulative arrivals) starting at 0.
+	if s[0].Release != 0 {
+		t.Errorf("first release = %g, want 0", s[0].Release)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i].Release < s[i-1].Release {
+			t.Fatalf("releases not monotone at %d", i)
+		}
+	}
+	for _, tk := range s {
+		if tk.Work < 10 || tk.Work > 30 {
+			t.Errorf("work %g out of [10,30]", tk.Work)
+		}
+		in := tk.Intensity()
+		if in < 0.1-1e-9 || in > 1.0+1e-9 {
+			t.Errorf("intensity %g out of range", in)
+		}
+	}
+}
+
+func TestPoissonInterarrivalMean(t *testing.T) {
+	// With rate λ = n/200 the mean interarrival is 200/n; over many tasks
+	// the empirical mean should be close.
+	rng := rand.New(rand.NewSource(5))
+	p := PoissonBurstDefaults(4000)
+	s := MustGenerateStochastic(rng, p)
+	var sum float64
+	for i := 1; i < len(s); i++ {
+		sum += s[i].Release - s[i-1].Release
+	}
+	mean := sum / float64(len(s)-1)
+	want := 1 / p.ArrivalRate
+	if math.Abs(mean-want)/want > 0.1 {
+		t.Errorf("mean interarrival %g, want ≈ %g", mean, want)
+	}
+}
+
+func TestBoundedParetoRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 5000; i++ {
+		x := boundedPareto(rng, 1.5, 10, 120)
+		if x < 10-1e-9 || x > 120+1e-9 {
+			t.Fatalf("sample %g out of [10,120]", x)
+		}
+	}
+}
+
+func TestBoundedParetoHeavyTail(t *testing.T) {
+	// Compared to uniform on the same range, the bounded Pareto has a
+	// much smaller median relative to its maximum: most mass sits near
+	// the lower bound.
+	rng := rand.New(rand.NewSource(13))
+	n := 20000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = boundedPareto(rng, 1.5, 10, 120)
+	}
+	sort.Float64s(xs)
+	median := xs[n/2]
+	if median > 30 {
+		t.Errorf("median %g too high for shape 1.5 on [10,120]", median)
+	}
+	// But the tail is populated: the 99th percentile exceeds half the
+	// range bound.
+	if xs[int(0.99*float64(n))] < 60 {
+		t.Errorf("p99 %g too low — tail missing", xs[int(0.99*float64(n))])
+	}
+}
+
+func TestHeavyTailDefaultsShape(t *testing.T) {
+	p := HeavyTailDefaults(20)
+	if p.WorkShape != 1.5 || p.WorkHi != 120 {
+		t.Errorf("defaults changed: %+v", p)
+	}
+	rng := rand.New(rand.NewSource(17))
+	s := MustGenerateStochastic(rng, p)
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStochasticValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := []StochasticParams{
+		{N: 0, ArrivalRate: 1, WorkLo: 1, WorkHi: 2, IntensityLo: 0.1, IntensityHi: 1},
+		{N: 5, ArrivalRate: 0, WorkLo: 1, WorkHi: 2, IntensityLo: 0.1, IntensityHi: 1},
+		{N: 5, ArrivalRate: 1, WorkLo: 0, WorkHi: 2, IntensityLo: 0.1, IntensityHi: 1},
+		{N: 5, ArrivalRate: 1, WorkLo: 3, WorkHi: 2, IntensityLo: 0.1, IntensityHi: 1},
+		{N: 5, ArrivalRate: 1, WorkLo: 1, WorkHi: 2, IntensityLo: 0, IntensityHi: 1},
+		{N: 5, ArrivalRate: 1, WorkLo: 1, WorkHi: 2, IntensityLo: 0.1, IntensityHi: 1, FreqScale: -2},
+	}
+	for i, p := range bad {
+		if _, err := GenerateStochastic(rng, p); err == nil {
+			t.Errorf("case %d should fail: %+v", i, p)
+		}
+	}
+}
+
+func TestStochasticDeterminism(t *testing.T) {
+	a := MustGenerateStochastic(rand.New(rand.NewSource(3)), HeavyTailDefaults(15))
+	b := MustGenerateStochastic(rand.New(rand.NewSource(3)), HeavyTailDefaults(15))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic at %d", i)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package task
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// jsonTask is the stable on-disk representation of a task. The field names
+// mirror the paper's notation rather than the Go struct, so files stay
+// readable next to the text.
+type jsonTask struct {
+	R float64 `json:"release"`
+	C float64 `json:"work"`
+	D float64 `json:"deadline"`
+}
+
+// MarshalJSON encodes the set as an array of {release, work, deadline}
+// objects; IDs are positional.
+func (s Set) MarshalJSON() ([]byte, error) {
+	out := make([]jsonTask, len(s))
+	for i, t := range s {
+		out[i] = jsonTask{R: t.Release, C: t.Work, D: t.Deadline}
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON decodes an array of {release, work, deadline} objects and
+// renumbers IDs positionally. The decoded set is validated.
+func (s *Set) UnmarshalJSON(data []byte) error {
+	var in []jsonTask
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	out := make(Set, len(in))
+	for i, jt := range in {
+		out[i] = Task{ID: i, Release: jt.R, Work: jt.C, Deadline: jt.D}
+	}
+	if err := out.Validate(); err != nil {
+		return fmt.Errorf("task: decoded set invalid: %w", err)
+	}
+	*s = out
+	return nil
+}
+
+// Write streams the set as indented JSON.
+func (s Set) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Read decodes a set previously written with Write (or any JSON array of
+// {release, work, deadline} objects).
+func Read(r io.Reader) (Set, error) {
+	var s Set
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

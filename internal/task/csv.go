@@ -1,0 +1,84 @@
+package task
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// csvHeader is the canonical column order of the CSV codec.
+var csvHeader = []string{"release", "work", "deadline"}
+
+// WriteCSV streams the set as CSV with a header row; columns are
+// release, work, deadline. IDs are positional, like the JSON codec.
+func (s Set) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', 17, 64) }
+	for _, t := range s {
+		if err := cw.Write([]string{f(t.Release), f(t.Work), f(t.Deadline)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV decodes a set written by WriteCSV. A header row is required;
+// columns may appear in any order but must include release, work, and
+// deadline. The decoded set is validated.
+func ReadCSV(r io.Reader) (Set, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("task: csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("task: csv: empty input")
+	}
+	col := map[string]int{}
+	for i, name := range rows[0] {
+		col[strings.ToLower(strings.TrimSpace(name))] = i
+	}
+	for _, want := range csvHeader {
+		if _, ok := col[want]; !ok {
+			return nil, fmt.Errorf("task: csv: missing column %q (have %v)", want, rows[0])
+		}
+	}
+	out := make(Set, 0, len(rows)-1)
+	for ln, row := range rows[1:] {
+		get := func(name string) (float64, error) {
+			idx := col[name]
+			if idx >= len(row) {
+				return 0, fmt.Errorf("task: csv row %d: missing %s", ln+2, name)
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(row[idx]), 64)
+			if err != nil {
+				return 0, fmt.Errorf("task: csv row %d: bad %s: %w", ln+2, name, err)
+			}
+			return v, nil
+		}
+		r0, err := get("release")
+		if err != nil {
+			return nil, err
+		}
+		c, err := get("work")
+		if err != nil {
+			return nil, err
+		}
+		d, err := get("deadline")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Task{ID: len(out), Release: r0, Work: c, Deadline: d})
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("task: csv: decoded set invalid: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,58 @@
+package task
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := MustGenerate(rng, PaperDefaults(13))
+	var buf bytes.Buffer
+	if err := s.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(s) {
+		t.Fatalf("length %d != %d", len(got), len(s))
+	}
+	for i := range s {
+		if got[i] != s[i] {
+			t.Errorf("task %d: %v != %v", i, got[i], s[i])
+		}
+	}
+}
+
+func TestCSVColumnOrderFlexible(t *testing.T) {
+	in := "deadline, work ,release\n12,4,0\n10,2,2\n"
+	s, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s[0].Release != 0 || s[0].Work != 4 || s[0].Deadline != 12 {
+		t.Errorf("row 0 = %v", s[0])
+	}
+	if s[1].Release != 2 {
+		t.Errorf("row 1 = %v", s[1])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"release,work\n0,1\n",
+		"release,work,deadline\n0,xx,12\n",
+		"release,work,deadline\n5,1,2\n",
+		"release,work,deadline\n0,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d should fail: %q", i, in)
+		}
+	}
+}

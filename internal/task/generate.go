@@ -1,0 +1,158 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GenParams describes the random workload generator of Section VI.
+//
+// Releases are uniform on [ReleaseLo, ReleaseHi]; work is uniform on
+// [WorkLo, WorkHi]; a per-task intensity is drawn from the configured
+// intensity source and the deadline is set to
+//
+//	D_i = R_i + C_i / intensity_i
+//
+// so that the task's minimum feasible constant frequency equals the drawn
+// intensity (Section VI: "we first generate a random intensity value ...
+// then set the deadline of task τ_i as D_i = C_i/intensity_i + R_i").
+type GenParams struct {
+	N         int     // number of tasks
+	ReleaseLo float64 // paper: 0
+	ReleaseHi float64 // paper: 200
+	WorkLo    float64 // paper: 10 (4000 in the XScale experiment)
+	WorkHi    float64 // paper: 30 (8000 in the XScale experiment)
+
+	// Intensity selection. When IntensityChoices is non-empty a value is
+	// drawn uniformly from it (the paper's {0.1, 0.2, ..., 1.0} grid);
+	// otherwise intensity is uniform on [IntensityLo, IntensityHi].
+	IntensityChoices []float64
+	IntensityLo      float64
+	IntensityHi      float64
+
+	// FreqScale rescales the drawn intensity: the effective deadline is
+	// D_i = R_i + C_i/(intensity_i · FreqScale). Zero means 1. The XScale
+	// experiment uses FreqScale = f2 = 400 MHz so that task intensities
+	// land in the processor's usable frequency band.
+	FreqScale float64
+}
+
+// PaperDefaults returns the generator settings used by Figures 6-10:
+// n tasks, releases on [0,200], work on [10,30], intensities uniform on
+// [0.1, 1.0].
+func PaperDefaults(n int) GenParams {
+	return GenParams{
+		N:           n,
+		ReleaseLo:   0,
+		ReleaseHi:   200,
+		WorkLo:      10,
+		WorkHi:      30,
+		IntensityLo: 0.1,
+		IntensityHi: 1.0,
+	}
+}
+
+// GridIntensities returns the discrete intensity grid {0.1, 0.2, ..., 1.0}
+// used for the platform-characteristic experiments (Fig. 6, Fig. 7,
+// Table II).
+func GridIntensities() []float64 {
+	out := make([]float64, 10)
+	for i := range out {
+		out[i] = float64(i+1) / 10
+	}
+	return out
+}
+
+// XScaleDefaults returns the generator settings of the practical-processor
+// experiment (Section VI.C): work on [4000, 8000] (Mcycles), releases on
+// [0, 200] s, intensities on [0.1, 1.0] scaled by f2 = 400 MHz.
+func XScaleDefaults(n int) GenParams {
+	return GenParams{
+		N:           n,
+		ReleaseLo:   0,
+		ReleaseHi:   200,
+		WorkLo:      4000,
+		WorkHi:      8000,
+		IntensityLo: 0.1,
+		IntensityHi: 1.0,
+		FreqScale:   400,
+	}
+}
+
+// Validate reports whether the parameters are internally consistent.
+func (p GenParams) Validate() error {
+	if p.N <= 0 {
+		return fmt.Errorf("task: generator N = %d must be positive", p.N)
+	}
+	if p.ReleaseHi < p.ReleaseLo {
+		return fmt.Errorf("task: release range [%g, %g] inverted", p.ReleaseLo, p.ReleaseHi)
+	}
+	if p.WorkLo <= 0 || p.WorkHi < p.WorkLo {
+		return fmt.Errorf("task: work range [%g, %g] invalid", p.WorkLo, p.WorkHi)
+	}
+	if len(p.IntensityChoices) == 0 {
+		if p.IntensityLo <= 0 || p.IntensityHi < p.IntensityLo {
+			return fmt.Errorf("task: intensity range [%g, %g] invalid", p.IntensityLo, p.IntensityHi)
+		}
+	} else {
+		for _, v := range p.IntensityChoices {
+			if v <= 0 {
+				return fmt.Errorf("task: intensity choice %g must be positive", v)
+			}
+		}
+	}
+	if p.FreqScale < 0 {
+		return fmt.Errorf("task: FreqScale %g must be non-negative", p.FreqScale)
+	}
+	return nil
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi == lo {
+		return lo
+	}
+	return lo + rng.Float64()*(hi-lo)
+}
+
+// Generate draws a random task set according to the parameters using the
+// supplied RNG (callers own seeding, keeping experiments reproducible).
+func Generate(rng *rand.Rand, p GenParams) (Set, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	scale := p.FreqScale
+	if scale == 0 {
+		scale = 1
+	}
+	s := make(Set, p.N)
+	for i := range s {
+		r := uniform(rng, p.ReleaseLo, p.ReleaseHi)
+		c := uniform(rng, p.WorkLo, p.WorkHi)
+		var in float64
+		if len(p.IntensityChoices) > 0 {
+			in = p.IntensityChoices[rng.Intn(len(p.IntensityChoices))]
+		} else {
+			in = uniform(rng, p.IntensityLo, p.IntensityHi)
+		}
+		s[i] = Task{
+			ID:       i,
+			Release:  r,
+			Work:     c,
+			Deadline: r + c/(in*scale),
+		}
+	}
+	if err := s.Validate(); err != nil {
+		return nil, fmt.Errorf("task: generated invalid set: %w", err)
+	}
+	return s, nil
+}
+
+// MustGenerate is Generate but panics on error; for tests and benches with
+// known-good parameters.
+func MustGenerate(rng *rand.Rand, p GenParams) Set {
+	s, err := Generate(rng, p)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}

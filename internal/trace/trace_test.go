@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/power"
+	"repro/internal/stats"
+	"repro/internal/task"
+)
+
+func sampleSchedule(t *testing.T) *core.Result {
+	t.Helper()
+	return core.MustSchedule(task.SectionVDExample(), 4, power.Unit(3, 0), alloc.DER, core.Options{})
+}
+
+func TestWriteChromeWellFormed(t *testing.T) {
+	res := sampleSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, res.Final, 1e6); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var slices, metas int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "X":
+			slices++
+			if ev["dur"].(float64) <= 0 {
+				t.Errorf("non-positive duration event: %v", ev)
+			}
+			args := ev["args"].(map[string]any)
+			if _, ok := args["frequency"]; !ok {
+				t.Error("slice missing frequency arg")
+			}
+		case "M":
+			metas++
+		}
+	}
+	if slices != len(res.Final.Segments) {
+		t.Errorf("slices = %d, want %d", slices, len(res.Final.Segments))
+	}
+	if metas != 1+res.Final.Cores {
+		t.Errorf("metas = %d, want %d", metas, 1+res.Final.Cores)
+	}
+}
+
+func TestWriteChromeRejectsBadScale(t *testing.T) {
+	res := sampleSchedule(t)
+	if err := WriteChrome(&bytes.Buffer{}, res.Final, 0); err == nil {
+		t.Error("zero scale should fail")
+	}
+}
+
+func TestWriteCSVRoundTrips(t *testing.T) {
+	r := &experiments.Result{
+		ID: "x", Title: "t", XLabel: "p0",
+		SeriesOrder: []string{"A", "B"},
+		Points: []experiments.Point{
+			{Label: "0.0", Series: map[string]stats.Summary{
+				"A": {Mean: 1.5, CI95: 0.1}, "B": {Mean: 2.5, CI95: 0.2},
+			}},
+			{Label: "0.1", Series: map[string]stats.Summary{
+				"A": {Mean: 1.6, CI95: 0.1}, "B": {Mean: 2.4, CI95: 0.2},
+			}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	if rows[0][0] != "p0" || rows[0][1] != "A" || rows[0][3] != "A_ci95" {
+		t.Errorf("header = %v", rows[0])
+	}
+	if rows[1][1] != "1.5" {
+		t.Errorf("A mean cell = %q", rows[1][1])
+	}
+}
+
+func TestWriteCSVWithMissRates(t *testing.T) {
+	r := &experiments.Result{
+		XLabel:      "x",
+		SeriesOrder: []string{"F2"},
+		Points: []experiments.Point{
+			{Label: "a", Series: map[string]stats.Summary{"F2": {Mean: 1}},
+				MissRate: map[string]float64{"F2": 0.25}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "F2_miss") || !strings.Contains(out, "0.25") {
+		t.Errorf("missing miss columns:\n%s", out)
+	}
+}
+
+func TestWriteScheduleCSV(t *testing.T) {
+	res := sampleSchedule(t)
+	var buf bytes.Buffer
+	if err := WriteScheduleCSV(&buf, res.Final); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1+len(res.Final.Segments) {
+		t.Errorf("rows = %d, want %d", len(rows), 1+len(res.Final.Segments))
+	}
+	if rows[0][0] != "task" || rows[0][5] != "work" {
+		t.Errorf("header = %v", rows[0])
+	}
+}

@@ -1,0 +1,37 @@
+package yds_test
+
+import (
+	"fmt"
+
+	"repro/internal/power"
+	"repro/internal/task"
+	"repro/internal/yds"
+)
+
+// The paper's introductory example (Fig. 1): the greedy max-intensity
+// peeling finds [4,8] at speed 1 first, then spreads the remaining work
+// at 0.75.
+func ExampleBuildProfile() {
+	prof, err := yds.BuildProfile(task.Fig1Example())
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range prof.Bands {
+		fmt.Printf("[%g, %g] speed %.2f\n", b.Start, b.End, b.Speed)
+	}
+	// Output:
+	// [0, 4] speed 0.75
+	// [4, 8] speed 1.00
+	// [8, 12] speed 0.75
+}
+
+// The realized EDF schedule under p(f) = f³ costs 4·1² + 6·0.75² = 7.375.
+func ExampleEnergy() {
+	e, err := yds.Energy(task.Fig1Example(), power.Unit(3, 0))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.3f\n", e)
+	// Output:
+	// 7.375
+}

@@ -1,0 +1,225 @@
+package yds
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func TestFig1Profile(t *testing.T) {
+	// Section I.B: the greatest-intensity interval is [4,8] at speed 1
+	// (τ3); after contraction, [0,8] at 0.75 covers τ1 and τ2, which maps
+	// back to original intervals [0,4] and [8,12].
+	prof, err := BuildProfile(task.Fig1Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		t, want float64
+	}{
+		{0, 0.75}, {3.9, 0.75},
+		{4, 1}, {7.9, 1},
+		{8, 0.75}, {11.9, 0.75},
+	}
+	for _, c := range cases {
+		if got := prof.SpeedAt(c.t); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("speed(%g) = %g, want %g", c.t, got, c.want)
+		}
+	}
+	if got := prof.SpeedAt(12.5); got != 0 {
+		t.Errorf("speed outside horizon = %g, want 0", got)
+	}
+}
+
+func TestFig1Energy(t *testing.T) {
+	// With p(f) = f³ (no static power) the YDS energy of Fig. 1 is
+	// Σ C_i·f_i² = 4·1² + (4+2)·0.75² = 7.375.
+	e, err := Energy(task.Fig1Example(), power.Unit(3, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(e-7.375) > 1e-9 {
+		t.Errorf("YDS energy = %.6f, want 7.375", e)
+	}
+}
+
+func TestFig1ScheduleStructure(t *testing.T) {
+	sched, _, err := Schedule(task.Fig1Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EDF at speed 0.75: τ1 runs [0,2); τ2 (deadline 10 < 12) preempts at
+	// its release 2 and finishes its 2 units of work at 2 + 2/0.75 active
+	// time, interrupted by τ3's band [4,8].
+	done := sched.CompletedWork()
+	for i, tk := range sched.Tasks {
+		if math.Abs(done[i]-tk.Work) > 1e-9 {
+			t.Errorf("task %d completed %g of %g", i, done[i], tk.Work)
+		}
+	}
+	// τ3 exclusively occupies [4,8] at speed 1.
+	for _, seg := range sched.Segments {
+		if seg.Start >= 4 && seg.End <= 8 && seg.Task != 2 {
+			t.Errorf("segment %v inside [4,8] is not τ3", seg)
+		}
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	ts := task.MustNew([3]float64{2, 6, 14})
+	prof, err := BuildProfile(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Bands) != 1 {
+		t.Fatalf("bands = %+v", prof.Bands)
+	}
+	b := prof.Bands[0]
+	if b.Start != 2 || b.End != 14 || math.Abs(b.Speed-0.5) > 1e-12 {
+		t.Errorf("band = %+v, want [2,14]@0.5", b)
+	}
+}
+
+func TestDisjointTasks(t *testing.T) {
+	// Two non-overlapping tasks each form their own critical interval.
+	ts := task.MustNew(
+		[3]float64{0, 4, 4},   // intensity 1
+		[3]float64{10, 2, 14}, // intensity 0.5
+	)
+	prof, err := BuildProfile(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.SpeedAt(2); math.Abs(got-1) > 1e-12 {
+		t.Errorf("speed(2) = %g, want 1", got)
+	}
+	if got := prof.SpeedAt(12); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("speed(12) = %g, want 0.5", got)
+	}
+	if got := prof.SpeedAt(7); got != 0 {
+		t.Errorf("speed(7) = %g, want 0 (idle gap)", got)
+	}
+}
+
+func TestNestedCriticalIntervals(t *testing.T) {
+	// A tight inner task inside a looser outer one: inner interval is
+	// frozen first, the outer work spreads over the remaining time.
+	ts := task.MustNew(
+		[3]float64{0, 6, 12}, // outer, intensity 0.5
+		[3]float64{5, 3, 7},  // inner, intensity 1.5
+	)
+	prof, err := BuildProfile(ts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := prof.SpeedAt(6); math.Abs(got-1.5) > 1e-9 {
+		t.Errorf("inner speed = %g, want 1.5", got)
+	}
+	// Outer: 6 work over 12−2 = 10 remaining time units → 0.6.
+	if got := prof.SpeedAt(1); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("outer speed = %g, want 0.6", got)
+	}
+	if got := prof.SpeedAt(10); math.Abs(got-0.6) > 1e-9 {
+		t.Errorf("outer speed after inner = %g, want 0.6", got)
+	}
+}
+
+func TestSpeedProfileConservesWork(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(8))
+		prof, err := BuildProfile(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cap float64
+		for _, b := range prof.Bands {
+			if b.End <= b.Start {
+				t.Fatalf("empty band %+v", b)
+			}
+			cap += (b.End - b.Start) * b.Speed
+		}
+		if math.Abs(cap-ts.TotalWork()) > 1e-6 {
+			t.Errorf("trial %d: profile capacity %g != total work %g", trial, cap, ts.TotalWork())
+		}
+	}
+}
+
+func TestScheduleAlwaysFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(10))
+		if _, _, err := Schedule(ts); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestYDSMatchesConvexOptimumOnUniprocessor(t *testing.T) {
+	// With p(f) = f^α and p0 = 0, YDS is provably optimal; the convex
+	// solver restricted to one core must agree.
+	rng := rand.New(rand.NewSource(31))
+	pm := power.Unit(3, 0)
+	for trial := 0; trial < 8; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(6))
+		e, err := Energy(ts, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := interval.MustDecompose(ts, 0)
+		sol := opt.MustSolve(d, 1, pm, opt.Options{MaxIterations: 20000, RelGap: 1e-8})
+		if math.Abs(e-sol.Energy) > 1e-3*math.Max(1, sol.Energy)+sol.Gap {
+			t.Errorf("trial %d: YDS %.6f vs convex optimum %.6f (gap %.2g)",
+				trial, e, sol.Energy, sol.Gap)
+		}
+	}
+}
+
+func TestProfileNonOverlapping(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 20; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(12))
+		prof, err := BuildProfile(ts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(prof.Bands); i++ {
+			if prof.Bands[i].Start < prof.Bands[i-1].End-1e-9 {
+				t.Fatalf("bands overlap: %+v then %+v", prof.Bands[i-1], prof.Bands[i])
+			}
+		}
+	}
+}
+
+func TestInvalidInput(t *testing.T) {
+	if _, err := BuildProfile(task.Set{}); err == nil {
+		t.Error("empty set should fail")
+	}
+}
+
+func BenchmarkBuildProfile(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProfile(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleEDF(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Schedule(ts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+package repro
+
+// Invariance property tests across the whole pipeline. Energy-aware
+// scheduling is translation-invariant (shifting every release and
+// deadline by Δ changes nothing) and respects exact scaling laws under
+// p0 = 0 (stretching time by c divides all frequencies by c and energies
+// by c^(α−1)). Each scheduler in the repository must obey both — a
+// violation would expose hidden absolute-time or absolute-scale
+// dependencies.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/core"
+	"repro/internal/interval"
+	"repro/internal/online"
+	"repro/internal/opt"
+	"repro/internal/partition"
+	"repro/internal/power"
+	"repro/internal/task"
+	"repro/internal/yds"
+)
+
+func shifted(ts task.Set, delta float64) task.Set {
+	out := ts.Clone()
+	for i := range out {
+		out[i].Release += delta
+		out[i].Deadline += delta
+	}
+	return out
+}
+
+func timeScaled(ts task.Set, c float64) task.Set {
+	out := ts.Clone()
+	for i := range out {
+		out[i].Release *= c
+		out[i].Deadline *= c
+	}
+	return out
+}
+
+func TestTranslationInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(314))
+	pm := power.Unit(3, 0.1)
+	for trial := 0; trial < 5; trial++ {
+		ts := task.MustGenerate(rng, task.PaperDefaults(12))
+		moved := shifted(ts, 1000)
+
+		// The paper's pipelines.
+		for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+			a := core.MustSchedule(ts, 4, pm, method, core.Options{Tolerance: 1e-9})
+			b := core.MustSchedule(moved, 4, pm, method, core.Options{Tolerance: 1e-9})
+			if math.Abs(a.FinalEnergy-b.FinalEnergy) > 1e-9*a.FinalEnergy {
+				t.Errorf("%v final energy not translation invariant: %.10f vs %.10f",
+					method, a.FinalEnergy, b.FinalEnergy)
+			}
+			if math.Abs(a.IntermediateEnergy-b.IntermediateEnergy) > 1e-9*a.IntermediateEnergy {
+				t.Errorf("%v intermediate energy not translation invariant", method)
+			}
+		}
+
+		// The convex solver.
+		da := interval.MustDecompose(ts, 1e-9)
+		db := interval.MustDecompose(moved, 1e-9)
+		sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
+		sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
+		if math.Abs(sa.Energy-sb.Energy) > 1e-6*sa.Energy {
+			t.Errorf("optimal energy not translation invariant: %.8f vs %.8f", sa.Energy, sb.Energy)
+		}
+
+		// YDS and the partitioned baseline.
+		ya, err := yds.Energy(ts, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yb, err := yds.Energy(moved, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(ya-yb) > 1e-9*ya {
+			t.Errorf("YDS energy not translation invariant")
+		}
+		_, pa, err := partition.Schedule(ts, 3, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, pb, err := partition.Schedule(moved, 3, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pa-pb) > 1e-9*pa {
+			t.Errorf("partitioned energy not translation invariant")
+		}
+
+		// The online scheduler.
+		oa, err := online.ReplanDER(ts, 4, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ob, err := online.ReplanDER(moved, 4, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(oa.Energy-ob.Energy) > 1e-9*oa.Energy {
+			t.Errorf("online energy not translation invariant")
+		}
+	}
+}
+
+func TestTimeScalingLawNoStaticPower(t *testing.T) {
+	// With p0 = 0 and windows stretched by c (same work), every schedule's
+	// frequencies divide by c, so energy scales by c^(1−α):
+	// E' = Σ C·(f/c)^(α−1) = E / c^(α−1).
+	rng := rand.New(rand.NewSource(271))
+	alphaVals := []float64{2, 3}
+	for _, alpha := range alphaVals {
+		pm := power.Unit(alpha, 0)
+		ts := task.MustGenerate(rng, task.PaperDefaults(10))
+		const c = 2.5
+		stretched := timeScaled(ts, c)
+		want := math.Pow(c, alpha-1)
+
+		a := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+		b := core.MustSchedule(stretched, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+		if ratio := a.FinalEnergy / b.FinalEnergy; math.Abs(ratio-want) > 1e-6*want {
+			t.Errorf("α=%g: F2 scaling ratio %.8f, want %.8f", alpha, ratio, want)
+		}
+
+		ya, err := yds.Energy(ts, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		yb, err := yds.Energy(stretched, pm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ratio := ya / yb; math.Abs(ratio-want) > 1e-6*want {
+			t.Errorf("α=%g: YDS scaling ratio %.8f, want %.8f", alpha, ratio, want)
+		}
+
+		da := interval.MustDecompose(ts, 1e-9)
+		db := interval.MustDecompose(stretched, 1e-9)
+		sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
+		sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
+		if ratio := sa.Energy / sb.Energy; math.Abs(ratio-want) > 1e-4*want {
+			t.Errorf("α=%g: optimal scaling ratio %.8f, want %.8f", alpha, ratio, want)
+		}
+	}
+}
+
+func TestWorkScalingLawNoStaticPower(t *testing.T) {
+	// With p0 = 0 and all work multiplied by c (same windows), all
+	// frequencies multiply by c and energy scales by c^α.
+	rng := rand.New(rand.NewSource(161))
+	pm := power.Unit(3, 0)
+	ts := task.MustGenerate(rng, task.PaperDefaults(10))
+	const c = 1.7
+	scaled := ts.Clone()
+	for i := range scaled {
+		scaled[i].Work *= c
+	}
+	want := math.Pow(c, 3)
+	a := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+	b := core.MustSchedule(scaled, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+	if ratio := b.FinalEnergy / a.FinalEnergy; math.Abs(ratio-want) > 1e-6*want {
+		t.Errorf("work scaling ratio %.8f, want %.8f", ratio, want)
+	}
+}
