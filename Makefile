@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: all vet build test race fuzz-smoke ci clean
+
+all: build
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short differential-fuzz pass: every registered scheduler against the
+# independent oracles on randomized instances. The checked-in corpus
+# under testdata/fuzz/ also replays during plain `make test`.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz=FuzzSchedulers -fuzztime=10s .
+
+ci: vet build test race fuzz-smoke
+
+clean:
+	$(GO) clean ./...

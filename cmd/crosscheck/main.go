@@ -17,6 +17,7 @@ import (
 	"math"
 	"os"
 
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/online"
@@ -139,6 +140,11 @@ func checkInstance(ts task.Set, m int, pm power.Model) error {
 	for _, e := range entries {
 		if errs := e.sched.Validate(1e-6, true); len(errs) > 0 {
 			return fmt.Errorf("%s: validator: %v", e.name, errs[0])
+		}
+		copts := check.DefaultOptions()
+		copts.ReportedEnergy = e.energy
+		if res := check.Audit(e.sched, ts, m, pm, copts); len(res.Violations) > 0 {
+			return fmt.Errorf("%s: universal validator: %v", e.name, res.Violations[0])
 		}
 		rep, err := sim.Run(e.sched, pm)
 		if err != nil {

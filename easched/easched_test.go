@@ -34,6 +34,9 @@ func TestQuickstartFlow(t *testing.T) {
 	if math.Abs(rep.Energy-res.FinalEnergy) > 1e-6*res.FinalEnergy {
 		t.Errorf("sim energy %g != plan energy %g", rep.Energy, res.FinalEnergy)
 	}
+	if vs := Verify(res.Final, tasks, 4, model); len(vs) > 0 {
+		t.Errorf("final schedule fails verification: %v", vs)
+	}
 }
 
 func TestScheduleBothOrdering(t *testing.T) {

@@ -1,0 +1,37 @@
+package easched
+
+import (
+	"repro/internal/check"
+)
+
+// --- Universal schedule verification (internal/check) ---
+
+// Violation is one structured scheduling-contract failure found by the
+// universal validator.
+type Violation = check.Violation
+
+// ViolationKind classifies a Violation.
+type ViolationKind = check.Kind
+
+// CrossCheckReport is the outcome of running every registered scheduler
+// on one instance and cross-checking the ensemble against the
+// independent oracles (feasibility analyzer, convex optimum, brute
+// force on small instances).
+type CrossCheckReport = check.DiffReport
+
+// Verify re-derives the scheduling contract from the raw schedule alone
+// — work conservation per task, window containment, per-instant core
+// count ≤ cores, positive frequencies — and independently re-integrates
+// energy by sweeping instantaneous power over time. It returns every
+// violation found (nil means the schedule is provably consistent with
+// the task set under the model).
+func Verify(t *Timetable, tasks TaskSet, cores int, m Model) []Violation {
+	return check.Validate(t, tasks, cores, m)
+}
+
+// CrossCheck runs every scheduler in the library on the instance and
+// cross-validates them against each other and the oracles; see
+// CrossCheckReport.OK and CrossCheckReport.Summary.
+func CrossCheck(tasks TaskSet, cores int, m Model) (*CrossCheckReport, error) {
+	return check.Differential(tasks, cores, m)
+}

@@ -1,0 +1,111 @@
+package repro
+
+// FuzzSchedulers is the differential fuzzing oracle: arbitrary bytes are
+// decoded into a well-formed scheduling instance, every registered
+// scheduler runs on it, and the ensemble is cross-checked against the
+// independent oracles (universal validator, max-flow feasibility,
+// convex optimum, small-instance brute force). Any disagreement is a
+// bug in one of the schedulers or one of the oracles.
+//
+// Run the seeds with plain `go test`; explore with
+//
+//	go test -fuzz=FuzzSchedulers -fuzztime=30s .
+//
+// The checked-in corpus lives in testdata/fuzz/FuzzSchedulers.
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/opt"
+	"repro/internal/power"
+	"repro/internal/task"
+
+	// Schedulers self-register with the cross-check on import.
+	_ "repro/internal/core"
+	_ "repro/internal/online"
+	_ "repro/internal/partition"
+	_ "repro/internal/yds"
+)
+
+const (
+	fuzzMaxTasks  = 8
+	fuzzChunkSize = 6
+)
+
+// decodeInstance maps raw bytes onto a valid instance, quantizing every
+// time value to the 1/256 grid so decompositions stay clean:
+//
+//	byte 0: power model — alpha = 2 + (b&3)/2, p0 = ((b>>2)&7)·0.05
+//	byte 1: cores — m = 1 + b%8
+//	then 6-byte chunks, one task each: release u16/256, work u16/256
+//	(floored at 1/256), window u16/256 (floored at 1/2).
+//
+// Returns a nil set when the bytes cannot seed at least one task.
+func decodeInstance(data []byte) (task.Set, int, power.Model) {
+	if len(data) < 2+fuzzChunkSize {
+		return nil, 0, power.Model{}
+	}
+	pm := power.Unit(2+float64(data[0]&3)*0.5, float64((data[0]>>2)&7)*0.05)
+	m := 1 + int(data[1])%8
+	body := data[2:]
+	n := len(body) / fuzzChunkSize
+	if n > fuzzMaxTasks {
+		n = fuzzMaxTasks
+	}
+	ts := make(task.Set, 0, n)
+	for i := 0; i < n; i++ {
+		c := body[i*fuzzChunkSize:]
+		rel := float64(binary.BigEndian.Uint16(c[0:2])) / 256
+		work := float64(binary.BigEndian.Uint16(c[2:4])) / 256
+		if work < 1.0/256 {
+			work = 1.0 / 256
+		}
+		window := float64(binary.BigEndian.Uint16(c[4:6])) / 256
+		if window < 0.5 {
+			window = 0.5
+		}
+		ts = append(ts, task.Task{ID: len(ts), Release: rel, Work: work, Deadline: rel + window})
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, 0, power.Model{}
+	}
+	return ts, m, pm
+}
+
+func FuzzSchedulers(f *testing.F) {
+	// Section V.D worked example (n=6, m=4, p = f³).
+	f.Add([]byte("\x02\x03\x00\x00\x08\x00\x0a\x00\x02\x00\x0e\x00\x10\x00\x04\x00\x08\x00\x0c\x00" +
+		"\x06\x00\x04\x00\x08\x00\x08\x00\x0a\x00\x0c\x00\x0c\x00\x06\x00\x0a\x00"))
+	// Fig. 1 YDS instance on one core.
+	f.Add([]byte("\x02\x00\x00\x00\x04\x00\x0c\x00\x02\x00\x02\x00\x08\x00\x04\x00\x04\x00\x04\x00"))
+	// Single task on two cores.
+	f.Add([]byte("\x02\x01\x00\x00\x08\x00\x0a\x00"))
+	// n ≤ m: three lightly overlapped tasks on eight cores, p0 > 0.
+	f.Add([]byte("\x06\x07\x00\x00\x04\x00\x10\x00\x01\x00\x06\x00\x0f\x00\x02\x00\x03\x00\x0c\x00"))
+	// Static-power-heavy mix with fractional releases.
+	f.Add([]byte("\x0a\x02\x00\x00\x08\x00\x0a\x00\x01\x80\x03\x00\x06\x80\x02\x00\x0e\x00\x10\x00" +
+		"\x05\x00\x02\x00\x04\x00\x00\x40\x01\x00\x01\x00"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ts, m, pm := decodeInstance(data)
+		if ts == nil {
+			return
+		}
+		rep, err := check.DifferentialOpts(ts, m, pm, check.DiffOptions{
+			// The fuzz loop trades oracle sharpness for iteration count:
+			// a looser solver gap widens every bound it certifies, and
+			// brute force runs only on the smallest instances.
+			Solver:        opt.Options{MaxIterations: 1500, RelGap: 1e-4},
+			BruteMaxTasks: 4,
+			Tol:           1e-5,
+		})
+		if err != nil {
+			t.Fatalf("differential setup failed on valid instance %v: %v", ts, err)
+		}
+		if !rep.OK() {
+			t.Fatalf("schedulers disagree on n=%d m=%d %v:\n%s", len(ts), m, pm, rep.Summary())
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package check
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Runner produces a schedule for one instance together with the energy
+// the scheduler itself reports for it. The reported energy is compared
+// against the validator's independent re-integration, so runners must
+// return their own accounting, not schedule.Energy recomputed after the
+// fact (where the two differ, that difference is exactly what the
+// cross-check exists to catch).
+type Runner func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error)
+
+// Entry is one registered scheduler.
+type Entry struct {
+	// Name identifies the scheduler in reports (e.g. "S^F2", "YDS").
+	Name string
+	// Run produces the schedule and its reported energy.
+	Run Runner
+}
+
+var registry struct {
+	sync.Mutex
+	entries map[string]Entry
+}
+
+// Register adds a scheduler to the differential cross-check. Scheduler
+// packages call it from init() so that importing a scheduler is enough
+// to have it audited; registering a duplicate or incomplete entry
+// panics, since both are programmer errors.
+func Register(e Entry) {
+	if e.Name == "" || e.Run == nil {
+		panic("check: Register needs a name and a runner")
+	}
+	registry.Lock()
+	defer registry.Unlock()
+	if registry.entries == nil {
+		registry.entries = make(map[string]Entry)
+	}
+	if _, dup := registry.entries[e.Name]; dup {
+		panic(fmt.Sprintf("check: scheduler %q registered twice", e.Name))
+	}
+	registry.entries[e.Name] = e
+}
+
+// Entries returns the registered schedulers sorted by name.
+func Entries() []Entry {
+	registry.Lock()
+	defer registry.Unlock()
+	out := make([]Entry, 0, len(registry.entries))
+	for _, e := range registry.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/check"
 	"repro/internal/power"
 	"repro/internal/task"
 )
@@ -25,6 +26,11 @@ func TestSectionVDFinalEnergies(t *testing.T) {
 	}
 	if got := suite.DER.FinalEnergy; math.Abs(got-31.8362) > 5e-4 {
 		t.Errorf("E^F2 = %.4f, paper reports 31.8362", got)
+	}
+	for name, res := range map[string]*Result{"S^F1": suite.Even, "S^F2": suite.DER} {
+		if vs := check.Validate(res.Final, ts, 4, pm); len(vs) > 0 {
+			t.Errorf("%s final schedule fails validation: %v", name, vs)
+		}
 	}
 }
 

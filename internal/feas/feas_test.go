@@ -1,10 +1,11 @@
-package feas
+package feas_test
 
 import (
 	"math"
 	"math/rand"
 	"testing"
 
+	"repro/internal/feas"
 	"repro/internal/interval"
 	"repro/internal/power"
 	"repro/internal/task"
@@ -16,7 +17,7 @@ func TestFig1FeasibilityThreshold(t *testing.T) {
 	// is the YDS peak speed: 1 (interval [4,8] has intensity 1).
 	ts := task.Fig1Example()
 	d := interval.MustDecompose(ts, 0)
-	ok, w, err := Feasible(d, 1, 1.0)
+	ok, w, err := feas.Feasible(d, 1, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -26,7 +27,7 @@ func TestFig1FeasibilityThreshold(t *testing.T) {
 	if err := w.Validate(d, 1); err != nil {
 		t.Fatal(err)
 	}
-	ok, _, err = Feasible(d, 1, 0.99)
+	ok, _, err = feas.Feasible(d, 1, 0.99)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func TestMinSpeedMatchesYDSPeak(t *testing.T) {
 	for trial := 0; trial < 10; trial++ {
 		ts := task.MustGenerate(rng, task.PaperDefaults(8))
 		d := interval.MustDecompose(ts, 0)
-		s, w, err := MinSpeed(d, 1, 1e-10)
+		s, w, err := feas.MinSpeed(d, 1, 1e-10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -72,7 +73,7 @@ func TestMoreCoresNeverHurt(t *testing.T) {
 		d := interval.MustDecompose(ts, 0)
 		prev := math.Inf(1)
 		for m := 1; m <= 6; m++ {
-			s, _, err := MinSpeed(d, m, 1e-9)
+			s, _, err := feas.MinSpeed(d, m, 1e-9)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -82,7 +83,7 @@ func TestMoreCoresNeverHurt(t *testing.T) {
 			prev = s
 		}
 		// With m ≥ n, the minimal speed is exactly the max intensity.
-		s, _, err := MinSpeed(d, len(ts), 1e-10)
+		s, _, err := feas.MinSpeed(d, len(ts), 1e-10)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,8 +100,8 @@ func TestLowerBoundIsNecessary(t *testing.T) {
 		ts := task.MustGenerate(rng, task.PaperDefaults(10))
 		d := interval.MustDecompose(ts, 0)
 		m := 1 + rng.Intn(4)
-		lb := LowerBound(d, m)
-		ok, _, err := Feasible(d, m, lb*(1-1e-6))
+		lb := feas.LowerBound(d, m)
+		ok, _, err := feas.Feasible(d, m, lb*(1-1e-6))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,18 +115,18 @@ func TestMinSpeedIsTight(t *testing.T) {
 	rng := rand.New(rand.NewSource(29))
 	ts := task.MustGenerate(rng, task.PaperDefaults(12))
 	d := interval.MustDecompose(ts, 0)
-	s, _, err := MinSpeed(d, 3, 1e-10)
+	s, _, err := feas.MinSpeed(d, 3, 1e-10)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ok, _, err := Feasible(d, 3, s*(1-1e-5))
+	ok, _, err := feas.Feasible(d, 3, s*(1-1e-5))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Errorf("feasible noticeably below MinSpeed %.8f", s)
 	}
-	ok, _, err = Feasible(d, 3, s*(1+1e-6))
+	ok, _, err = feas.Feasible(d, 3, s*(1+1e-6))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +141,7 @@ func TestPredictMissXScale(t *testing.T) {
 	heavy := task.MustNew(
 		[3]float64{0, 4000, 2}, // needs 2000 MHz alone
 	)
-	miss, err := PredictMiss(heavy, 4, power.IntelXScale().MaxFrequency())
+	miss, err := feas.PredictMiss(heavy, 4, power.IntelXScale().MaxFrequency())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestPredictMissXScale(t *testing.T) {
 	// are almost always feasible at f_max.
 	rng := rand.New(rand.NewSource(31))
 	ts := task.MustGenerate(rng, task.XScaleDefaults(10))
-	miss, err = PredictMiss(ts, 4, 1000)
+	miss, err = feas.PredictMiss(ts, 4, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestPredictMissXScale(t *testing.T) {
 func TestWitnessValidateCatchesCorruption(t *testing.T) {
 	ts := task.Fig1Example()
 	d := interval.MustDecompose(ts, 0)
-	_, w, err := Feasible(d, 2, 1.0)
+	_, w, err := feas.Feasible(d, 2, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,12 +172,12 @@ func TestWitnessValidateCatchesCorruption(t *testing.T) {
 	if err := w.Validate(d, 2); err == nil {
 		t.Error("negative assignment should fail validation")
 	}
-	_, w, _ = Feasible(d, 2, 1.0)
+	_, w, _ = feas.Feasible(d, 2, 1.0)
 	w.X[0][0] = 1e6
 	if err := w.Validate(d, 2); err == nil {
 		t.Error("over-length assignment should fail validation")
 	}
-	_, w, _ = Feasible(d, 2, 1.0)
+	_, w, _ = feas.Feasible(d, 2, 1.0)
 	w.X[0] = make([]float64, len(w.X[0]))
 	if err := w.Validate(d, 2); err == nil {
 		t.Error("shortfall should fail validation")
@@ -186,10 +187,10 @@ func TestWitnessValidateCatchesCorruption(t *testing.T) {
 func TestInputValidation(t *testing.T) {
 	ts := task.Fig1Example()
 	d := interval.MustDecompose(ts, 0)
-	if _, _, err := Feasible(d, 0, 1); err == nil {
+	if _, _, err := feas.Feasible(d, 0, 1); err == nil {
 		t.Error("zero cores should fail")
 	}
-	if _, _, err := Feasible(d, 2, 0); err == nil {
+	if _, _, err := feas.Feasible(d, 2, 0); err == nil {
 		t.Error("zero speed should fail")
 	}
 }
@@ -200,7 +201,7 @@ func BenchmarkFeasible(b *testing.B) {
 	d := interval.MustDecompose(ts, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := Feasible(d, 4, 1.0); err != nil {
+		if _, _, err := feas.Feasible(d, 4, 1.0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -212,7 +213,7 @@ func BenchmarkMinSpeed(b *testing.B) {
 	d := interval.MustDecompose(ts, 0)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := MinSpeed(d, 4, 1e-9); err != nil {
+		if _, _, err := feas.MinSpeed(d, 4, 1e-9); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -233,18 +234,18 @@ func TestMinSpeedDoublingPath(t *testing.T) {
 		[3]float64{0, 30, 30},
 	)
 	d := interval.MustDecompose(ts, 0)
-	lb := LowerBound(d, 2)
+	lb := feas.LowerBound(d, 2)
 	if lb > 1+1e-9 {
 		t.Fatalf("lower bound %g unexpectedly tight; test construction broken", lb)
 	}
-	ok, _, err := Feasible(d, 2, lb)
+	ok, _, err := feas.Feasible(d, 2, lb)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ok {
 		t.Fatalf("lower bound %g should be infeasible here", lb)
 	}
-	s, w, err := MinSpeed(d, 2, 1e-10)
+	s, w, err := feas.MinSpeed(d, 2, 1e-10)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -257,7 +258,7 @@ func TestMinSpeedDoublingPath(t *testing.T) {
 }
 
 func TestCheckTaskSetErrorPropagation(t *testing.T) {
-	if _, err := CheckTaskSet(task.Set{}, 2, 1); err == nil {
+	if _, err := feas.CheckTaskSet(task.Set{}, 2, 1); err == nil {
 		t.Error("empty set should fail")
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/feas"
 	"repro/internal/interval"
@@ -31,6 +32,9 @@ func TestReplanDERNeverMisses(t *testing.T) {
 			if done[tk.ID] < tk.Work*(1-1e-6) {
 				t.Errorf("trial %d: task %d completed %g of %g", trial, tk.ID, done[tk.ID], tk.Work)
 			}
+		}
+		if vs := check.Validate(res.Schedule, ts, m, pm); len(vs) > 0 {
+			t.Errorf("trial %d: online schedule fails validation: %v", trial, vs)
 		}
 	}
 }

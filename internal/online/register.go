@@ -1,0 +1,25 @@
+package online
+
+import (
+	"repro/internal/check"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// The never-missing online policy self-registers with the universal
+// cross-check. FixedSpeedEDF is deliberately left out: it is allowed to
+// miss deadlines by design, so the contract the validator enforces does
+// not apply to it.
+func init() {
+	check.Register(check.Entry{
+		Name: "ReplanDER",
+		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			r, err := ReplanDER(ts, m, pm)
+			if err != nil {
+				return nil, 0, err
+			}
+			return r.Schedule, r.Energy, nil
+		},
+	})
+}

@@ -1,0 +1,152 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/interval"
+	"repro/internal/power"
+)
+
+// Brute locates the optimal energy of the reformulated program by
+// exhaustive greedy water-filling over the per-task available times A_i,
+// entirely independently of the Frank-Wolfe solver. It exists as a
+// differential oracle for small instances (n ≤ BruteMaxTasks): the two
+// share no code beyond ψ evaluation, so agreement certifies both.
+//
+// The search space is the projection of the allocation polytope onto
+// A-space, which by max-flow/min-cut is exactly
+//
+//	Σ_{i∈S} A_i ≤ cap(S) = Σ_j min(|S ∩ E_j|, m)·ℓ_j   for every subset S,
+//
+// where E_j is the set of tasks eligible in subinterval j. cap is
+// monotone and submodular (a concave function of |S ∩ E_j| per
+// subinterval), so the region is a polymatroid — and minimizing the
+// separable convex Σ ψ_i(A_i) over a polymatroid is solved exactly, in
+// the small-increment limit, by greedy water-filling: repeatedly grant
+// the next slice of time to the task with the steepest energy descent
+// that still fits every subset constraint. The returned value is
+// feasible, hence an upper bound on the true optimum, within a relative
+// error of roughly BruteTolerance.
+func Brute(d *interval.Decomposition, m int, pm power.Model) (float64, error) {
+	n := len(d.Tasks)
+	if n == 0 {
+		return 0, fmt.Errorf("opt: brute force needs at least one task")
+	}
+	if n > BruteMaxTasks {
+		return 0, fmt.Errorf("opt: brute force supports at most %d tasks, have %d", BruteMaxTasks, n)
+	}
+	if m <= 0 {
+		return 0, fmt.Errorf("opt: need at least one core, have %d", m)
+	}
+	if err := pm.Validate(); err != nil {
+		return 0, err
+	}
+
+	// slack[S] starts at cap(S) and shrinks as time is granted.
+	slack := make([]float64, 1<<n)
+	for _, sub := range d.Subs {
+		var mask uint
+		for _, id := range sub.Overlapping {
+			mask |= 1 << uint(id)
+		}
+		l := sub.Length()
+		for s := 1; s < len(slack); s++ {
+			k := popcount(uint(s) & mask)
+			if k > m {
+				k = m
+			}
+			slack[s] += float64(k) * l
+		}
+	}
+
+	// Granting more than ā_i = C_i/f* never lowers ψ_i, so stop there
+	// (and at the task's total eligible length).
+	fstar := pm.CriticalFrequency()
+	hi := make([]float64, n)
+	var total float64
+	for i, tk := range d.Tasks {
+		for _, j := range d.SubsOf(i) {
+			hi[i] += d.Subs[j].Length()
+		}
+		if fstar > 0 {
+			if abar := tk.Work / fstar; abar < hi[i] {
+				hi[i] = abar
+			}
+		}
+		total += hi[i]
+	}
+	delta := total / bruteIncrements
+
+	a := make([]float64, n)
+	psi := func(i int, ai float64) float64 {
+		if ai <= 0 {
+			return math.Inf(1)
+		}
+		return pm.TaskEnergy(d.Tasks[i].Work, ai)
+	}
+	for iter := 0; ; iter++ {
+		if iter > bruteIncrements*8 {
+			return 0, fmt.Errorf("opt: brute force failed to converge")
+		}
+		best, bestStep, bestRate := -1, 0.0, 0.0
+		for i := 0; i < n; i++ {
+			// The step shrinks to fit the tightest subset constraint, so
+			// capacity boundaries are filled exactly rather than to the
+			// nearest grid multiple.
+			step := math.Min(delta, hi[i]-a[i])
+			for s := range slack {
+				if uint(s)&(1<<uint(i)) != 0 && slack[s] < step {
+					step = slack[s]
+				}
+			}
+			if step < delta*1e-9 {
+				continue
+			}
+			rate := (psi(i, a[i]+step) - psi(i, a[i])) / step
+			if rate < bestRate {
+				best, bestStep, bestRate = i, step, rate
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a[best] += bestStep
+		for s := range slack {
+			if uint(s)&(1<<uint(best)) != 0 {
+				slack[s] -= bestStep
+			}
+		}
+	}
+
+	var energy float64
+	for i := range a {
+		e := psi(i, a[i])
+		if math.IsInf(e, 1) {
+			return 0, fmt.Errorf("opt: brute force starved task %d", i)
+		}
+		energy += e
+	}
+	return energy, nil
+}
+
+// BruteMaxTasks bounds the instance size Brute accepts; beyond it the
+// subset table blows up combinatorially.
+const BruteMaxTasks = 8
+
+// BruteTolerance is the relative accuracy the water-filling increment
+// achieves on the instances Brute accepts; differential checks against
+// Solve should allow this much slack (plus the solver's own gap).
+const BruteTolerance = 1e-3
+
+// bruteIncrements is the number of greedy time slices the total grant is
+// divided into; the discretization error shrinks linearly with it.
+const bruteIncrements = 30000
+
+func popcount(x uint) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

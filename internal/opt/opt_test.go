@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/power"
 	"repro/internal/task"
@@ -84,29 +83,6 @@ func TestStaticPowerKink(t *testing.T) {
 	// f* = 0.5, best energy = 2·(0.5 + 0.25/0.5) = 2.0.
 	if math.Abs(sol.Energy-2.0) > 1e-6 {
 		t.Errorf("E^opt = %.8f, want 2.0 (critical-frequency operation)", sol.Energy)
-	}
-}
-
-func TestOptimalNeverAboveHeuristics(t *testing.T) {
-	// E^opt must lower-bound the paper's heuristics (up to solver gap).
-	rng := rand.New(rand.NewSource(42))
-	for trial := 0; trial < 10; trial++ {
-		ts := task.MustGenerate(rng, task.PaperDefaults(15))
-		m := 2 + rng.Intn(4)
-		pm := power.Unit(2+rng.Float64(), rng.Float64()*0.2)
-		d := interval.MustDecompose(ts, 0)
-		sol := MustSolve(d, m, pm, Options{})
-		suite, err := core.RunSuite(ts, m, pm, core.Options{})
-		if err != nil {
-			t.Fatal(err)
-		}
-		slack := sol.Gap + 1e-6*sol.Energy
-		if sol.Energy > suite.Even.FinalEnergy+slack {
-			t.Errorf("trial %d: E^opt %.6f > E^F1 %.6f", trial, sol.Energy, suite.Even.FinalEnergy)
-		}
-		if sol.Energy > suite.DER.FinalEnergy+slack {
-			t.Errorf("trial %d: E^opt %.6f > E^F2 %.6f", trial, sol.Energy, suite.DER.FinalEnergy)
-		}
 	}
 }
 

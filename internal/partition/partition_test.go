@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/alloc"
+	"repro/internal/check"
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/opt"
@@ -76,6 +77,9 @@ func TestScheduleFeasibleAndComplete(t *testing.T) {
 			if done[tk.ID] < tk.Work*(1-1e-6) {
 				t.Errorf("trial %d: task %d completed %g of %g", trial, tk.ID, done[tk.ID], tk.Work)
 			}
+		}
+		if vs := check.Validate(sched, ts, m, pm); len(vs) > 0 {
+			t.Errorf("trial %d: partitioned schedule fails validation: %v", trial, vs)
 		}
 	}
 }

@@ -1,0 +1,23 @@
+package partition
+
+import (
+	"repro/internal/check"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// The non-migratory baseline self-registers with the universal
+// cross-check.
+func init() {
+	check.Register(check.Entry{
+		Name: "Partitioned",
+		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			sched, energy, err := Schedule(ts, m, pm)
+			if err != nil {
+				return nil, 0, err
+			}
+			return sched, energy, nil
+		},
+	})
+}

@@ -1,0 +1,24 @@
+package yds
+
+import (
+	"repro/internal/check"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// YDS self-registers with the universal cross-check. It always realizes
+// on a single core, which stays valid (and above the multi-core lower
+// bound) for any m ≥ 1.
+func init() {
+	check.Register(check.Entry{
+		Name: "YDS",
+		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			sched, _, err := Schedule(ts)
+			if err != nil {
+				return nil, 0, err
+			}
+			return sched, sched.Energy(pm), nil
+		},
+	})
+}

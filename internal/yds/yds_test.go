@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/check"
 	"repro/internal/interval"
 	"repro/internal/opt"
 	"repro/internal/power"
@@ -67,6 +68,9 @@ func TestFig1ScheduleStructure(t *testing.T) {
 		if seg.Start >= 4 && seg.End <= 8 && seg.Task != 2 {
 			t.Errorf("segment %v inside [4,8] is not τ3", seg)
 		}
+	}
+	if vs := check.Validate(sched, task.Fig1Example(), 1, power.Unit(3, 0)); len(vs) > 0 {
+		t.Errorf("YDS schedule fails validation: %v", vs)
 	}
 }
 

@@ -7,8 +7,13 @@ package repro
 // by c^(α−1)). Each scheduler in the repository must obey both — a
 // violation would expose hidden absolute-time or absolute-scale
 // dependencies.
+//
+// Every subtest owns its rng, seeded from the case index, so instances
+// do not depend on sibling execution order and the subtests can run in
+// parallel.
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"testing"
@@ -43,70 +48,74 @@ func timeScaled(ts task.Set, c float64) task.Set {
 }
 
 func TestTranslationInvariance(t *testing.T) {
-	rng := rand.New(rand.NewSource(314))
 	pm := power.Unit(3, 0.1)
 	for trial := 0; trial < 5; trial++ {
-		ts := task.MustGenerate(rng, task.PaperDefaults(12))
-		moved := shifted(ts, 1000)
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(314 + int64(trial)))
+			ts := task.MustGenerate(rng, task.PaperDefaults(12))
+			moved := shifted(ts, 1000)
 
-		// The paper's pipelines.
-		for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
-			a := core.MustSchedule(ts, 4, pm, method, core.Options{Tolerance: 1e-9})
-			b := core.MustSchedule(moved, 4, pm, method, core.Options{Tolerance: 1e-9})
-			if math.Abs(a.FinalEnergy-b.FinalEnergy) > 1e-9*a.FinalEnergy {
-				t.Errorf("%v final energy not translation invariant: %.10f vs %.10f",
-					method, a.FinalEnergy, b.FinalEnergy)
+			// The paper's pipelines.
+			for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
+				a := core.MustSchedule(ts, 4, pm, method, core.Options{Tolerance: 1e-9})
+				b := core.MustSchedule(moved, 4, pm, method, core.Options{Tolerance: 1e-9})
+				if math.Abs(a.FinalEnergy-b.FinalEnergy) > 1e-9*a.FinalEnergy {
+					t.Errorf("%v final energy not translation invariant: %.10f vs %.10f",
+						method, a.FinalEnergy, b.FinalEnergy)
+				}
+				if math.Abs(a.IntermediateEnergy-b.IntermediateEnergy) > 1e-9*a.IntermediateEnergy {
+					t.Errorf("%v intermediate energy not translation invariant", method)
+				}
 			}
-			if math.Abs(a.IntermediateEnergy-b.IntermediateEnergy) > 1e-9*a.IntermediateEnergy {
-				t.Errorf("%v intermediate energy not translation invariant", method)
+
+			// The convex solver.
+			da := interval.MustDecompose(ts, 1e-9)
+			db := interval.MustDecompose(moved, 1e-9)
+			sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
+			sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
+			if math.Abs(sa.Energy-sb.Energy) > 1e-6*sa.Energy {
+				t.Errorf("optimal energy not translation invariant: %.8f vs %.8f", sa.Energy, sb.Energy)
 			}
-		}
 
-		// The convex solver.
-		da := interval.MustDecompose(ts, 1e-9)
-		db := interval.MustDecompose(moved, 1e-9)
-		sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
-		sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
-		if math.Abs(sa.Energy-sb.Energy) > 1e-6*sa.Energy {
-			t.Errorf("optimal energy not translation invariant: %.8f vs %.8f", sa.Energy, sb.Energy)
-		}
+			// YDS and the partitioned baseline.
+			ya, err := yds.Energy(ts, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yb, err := yds.Energy(moved, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ya-yb) > 1e-9*ya {
+				t.Errorf("YDS energy not translation invariant")
+			}
+			_, pa, err := partition.Schedule(ts, 3, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, pb, err := partition.Schedule(moved, 3, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(pa-pb) > 1e-9*pa {
+				t.Errorf("partitioned energy not translation invariant")
+			}
 
-		// YDS and the partitioned baseline.
-		ya, err := yds.Energy(ts, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		yb, err := yds.Energy(moved, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if math.Abs(ya-yb) > 1e-9*ya {
-			t.Errorf("YDS energy not translation invariant")
-		}
-		_, pa, err := partition.Schedule(ts, 3, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		_, pb, err := partition.Schedule(moved, 3, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if math.Abs(pa-pb) > 1e-9*pa {
-			t.Errorf("partitioned energy not translation invariant")
-		}
-
-		// The online scheduler.
-		oa, err := online.ReplanDER(ts, 4, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ob, err := online.ReplanDER(moved, 4, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if math.Abs(oa.Energy-ob.Energy) > 1e-9*oa.Energy {
-			t.Errorf("online energy not translation invariant")
-		}
+			// The online scheduler.
+			oa, err := online.ReplanDER(ts, 4, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ob, err := online.ReplanDER(moved, 4, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(oa.Energy-ob.Energy) > 1e-9*oa.Energy {
+				t.Errorf("online energy not translation invariant")
+			}
+		})
 	}
 }
 
@@ -114,46 +123,50 @@ func TestTimeScalingLawNoStaticPower(t *testing.T) {
 	// With p0 = 0 and windows stretched by c (same work), every schedule's
 	// frequencies divide by c, so energy scales by c^(1−α):
 	// E' = Σ C·(f/c)^(α−1) = E / c^(α−1).
-	rng := rand.New(rand.NewSource(271))
-	alphaVals := []float64{2, 3}
-	for _, alpha := range alphaVals {
-		pm := power.Unit(alpha, 0)
-		ts := task.MustGenerate(rng, task.PaperDefaults(10))
-		const c = 2.5
-		stretched := timeScaled(ts, c)
-		want := math.Pow(c, alpha-1)
+	for i, alpha := range []float64{2, 3} {
+		i, alpha := i, alpha
+		t.Run(fmt.Sprintf("alpha%g", alpha), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(271 + int64(i)))
+			pm := power.Unit(alpha, 0)
+			ts := task.MustGenerate(rng, task.PaperDefaults(10))
+			const c = 2.5
+			stretched := timeScaled(ts, c)
+			want := math.Pow(c, alpha-1)
 
-		a := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
-		b := core.MustSchedule(stretched, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
-		if ratio := a.FinalEnergy / b.FinalEnergy; math.Abs(ratio-want) > 1e-6*want {
-			t.Errorf("α=%g: F2 scaling ratio %.8f, want %.8f", alpha, ratio, want)
-		}
+			a := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+			b := core.MustSchedule(stretched, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
+			if ratio := a.FinalEnergy / b.FinalEnergy; math.Abs(ratio-want) > 1e-6*want {
+				t.Errorf("α=%g: F2 scaling ratio %.8f, want %.8f", alpha, ratio, want)
+			}
 
-		ya, err := yds.Energy(ts, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		yb, err := yds.Energy(stretched, pm)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if ratio := ya / yb; math.Abs(ratio-want) > 1e-6*want {
-			t.Errorf("α=%g: YDS scaling ratio %.8f, want %.8f", alpha, ratio, want)
-		}
+			ya, err := yds.Energy(ts, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			yb, err := yds.Energy(stretched, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ratio := ya / yb; math.Abs(ratio-want) > 1e-6*want {
+				t.Errorf("α=%g: YDS scaling ratio %.8f, want %.8f", alpha, ratio, want)
+			}
 
-		da := interval.MustDecompose(ts, 1e-9)
-		db := interval.MustDecompose(stretched, 1e-9)
-		sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
-		sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
-		if ratio := sa.Energy / sb.Energy; math.Abs(ratio-want) > 1e-4*want {
-			t.Errorf("α=%g: optimal scaling ratio %.8f, want %.8f", alpha, ratio, want)
-		}
+			da := interval.MustDecompose(ts, 1e-9)
+			db := interval.MustDecompose(stretched, 1e-9)
+			sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
+			sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
+			if ratio := sa.Energy / sb.Energy; math.Abs(ratio-want) > 1e-4*want {
+				t.Errorf("α=%g: optimal scaling ratio %.8f, want %.8f", alpha, ratio, want)
+			}
+		})
 	}
 }
 
 func TestWorkScalingLawNoStaticPower(t *testing.T) {
 	// With p0 = 0 and all work multiplied by c (same windows), all
 	// frequencies multiply by c and energy scales by c^α.
+	t.Parallel()
 	rng := rand.New(rand.NewSource(161))
 	pm := power.Unit(3, 0)
 	ts := task.MustGenerate(rng, task.PaperDefaults(10))
