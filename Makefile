@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke ci clean
+.PHONY: all vet build test race fuzz-smoke ci serve loadtest clean
 
 all: build
 
@@ -23,6 +23,16 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzSchedulers -fuzztime=10s .
 
 ci: vet build test race fuzz-smoke
+
+# Run the HTTP scheduling daemon on :8080 (override: make serve ADDR=:9090).
+ADDR ?= :8080
+serve:
+	$(GO) run ./cmd/schedd -addr $(ADDR)
+
+# Drive a closed loop against a running daemon and validate every response.
+LOAD_ADDR ?= http://localhost:8080
+loadtest:
+	$(GO) run ./cmd/schedload -addr $(LOAD_ADDR) -duration 10s
 
 clean:
 	$(GO) clean ./...

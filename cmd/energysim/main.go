@@ -17,10 +17,14 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro/internal/experiments"
@@ -55,6 +59,12 @@ func main() {
 		return
 	}
 
+	// Ctrl-C (or SIGTERM) cancels the sweep: replication pools stop
+	// launching work, in-flight replications drain, and we exit 130
+	// instead of running the remaining replications to completion.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	cfg := experiments.Config{
 		Replications: *reps,
 		Seed:         *seed,
@@ -65,6 +75,7 @@ func main() {
 		cfg = experiments.Quick()
 		cfg.Seed = *seed
 	}
+	cfg.Context = ctx
 
 	opts := outputOptions{plot: *doPlot, csvDir: *csvDir, mdFile: *mdFile}
 	switch {
@@ -85,16 +96,10 @@ func main() {
 			Title: "custom sweep",
 			Run:   func(cfg experiments.Config) (*experiments.Result, error) { return experiments.RunCustom(cfg, sweep) },
 		}
-		if err := runOne(d, cfg, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "energysim: %s: %v\n", d.ID, err)
-			os.Exit(1)
-		}
+		exitOnErr(d.ID, runOne(d, cfg, opts))
 	case *all:
 		for _, d := range experiments.All() {
-			if err := runOne(d, cfg, opts); err != nil {
-				fmt.Fprintf(os.Stderr, "energysim: %s: %v\n", d.ID, err)
-				os.Exit(1)
-			}
+			exitOnErr(d.ID, runOne(d, cfg, opts))
 		}
 	case *exp != "":
 		d, err := experiments.Lookup(*exp)
@@ -102,14 +107,25 @@ func main() {
 			fmt.Fprintf(os.Stderr, "energysim: %v\n", err)
 			os.Exit(2)
 		}
-		if err := runOne(d, cfg, opts); err != nil {
-			fmt.Fprintf(os.Stderr, "energysim: %s: %v\n", d.ID, err)
-			os.Exit(1)
-		}
+		exitOnErr(d.ID, runOne(d, cfg, opts))
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// exitOnErr reports a failed experiment and exits: 130 for an interrupt
+// (so shells see the conventional SIGINT status), 1 otherwise.
+func exitOnErr(id string, err error) {
+	if err == nil {
+		return
+	}
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintln(os.Stderr, "energysim: interrupted")
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "energysim: %s: %v\n", id, err)
+	os.Exit(1)
 }
 
 type outputOptions struct {

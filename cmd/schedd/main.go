@@ -1,0 +1,87 @@
+// Command schedd is the scheduling daemon: a JSON HTTP service that
+// solves energy-aware aperiodic-task instances with any scheduler in the
+// repository's registry, behind admission control, a solve cache, an
+// in-band schedule-verification guardrail, and first-class metrics.
+//
+// Usage:
+//
+//	schedd [-addr :8080] [-workers N] [-queue 64] [-cache 1024]
+//	       [-timeout 5s] [-max-tasks 10000] [-no-verify] [-quiet]
+//
+// Endpoints (see internal/server):
+//
+//	POST /v1/schedule    {"algorithm":"S^F2","cores":4,"model":{"alpha":3,"p0":0.05},"tasks":[...]}
+//	POST /v1/feasible    {"cores":4,"speed":1,"tasks":[...]}
+//	GET  /v1/algorithms
+//	GET  /healthz
+//	GET  /metrics
+//	     /debug/pprof/*
+//
+// SIGINT/SIGTERM drain gracefully: in-flight solves finish (bounded by
+// the grace timeout) while new work is rejected with 503.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		queue    = flag.Int("queue", 64, "admission-queue depth before 429")
+		cache    = flag.Int("cache", 1024, "solve-cache capacity (-1 disables)")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-request solve deadline")
+		maxTasks = flag.Int("max-tasks", 10000, "reject larger instances with 400")
+		noVerify = flag.Bool("no-verify", false, "skip the in-band schedule verification guardrail")
+		grace    = flag.Duration("grace", 5*time.Second, "drain timeout on shutdown")
+		quiet    = flag.Bool("quiet", false, "suppress per-request log lines")
+	)
+	flag.Parse()
+
+	logOut := io.Writer(os.Stderr)
+	if *quiet {
+		logOut = io.Discard
+	}
+	logger := log.New(logOut, "schedd ", log.LstdFlags|log.Lmicroseconds)
+
+	srv := server.New(server.Config{
+		Addr:          *addr,
+		Workers:       *workers,
+		Queue:         *queue,
+		CacheSize:     *cache,
+		SolveTimeout:  *timeout,
+		MaxTasks:      *maxTasks,
+		DisableVerify: *noVerify,
+		GraceTimeout:  *grace,
+		Logger:        logger,
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	nw := *workers
+	if nw <= 0 {
+		nw = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(os.Stderr, "schedd: listening on %s (workers=%d queue=%d cache=%d timeout=%s verify=%t)\n",
+		*addr, nw, *queue, *cache, *timeout, !*noVerify)
+	if err := srv.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "schedd: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "schedd: bye")
+}

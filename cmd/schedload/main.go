@@ -1,0 +1,341 @@
+// Command schedload is a closed-loop load generator for cmd/schedd: a
+// fixed number of concurrent connections each issue POST /v1/schedule
+// requests back-to-back, then the run reports throughput (req/s),
+// latency percentiles (p50/p90/p99/max), response-code counts, cache-hit
+// share, and — because every response is re-validated client-side with
+// the universal schedule checker — validator failures, which must be
+// zero.
+//
+// Usage:
+//
+//	schedload [-addr http://127.0.0.1:8080] [-c 16] [-duration 5s | -n 10000]
+//	          [-algorithm S^F2] [-cores 4] [-alpha 3] [-p0 0.05]
+//	          [-ntasks 20] [-distinct 16] [-seed 1] [-tasks FILE] [-no-verify]
+//
+// Workloads are paper-default random instances by default (-ntasks tasks
+// each, -distinct of them cycled round-robin, which also exercises the
+// server's solve cache); -tasks FILE replays one fixed instance from a
+// JSON or CSV file written by cmd/taskgen.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+type scheduleRequest struct {
+	Algorithm string       `json:"algorithm"`
+	Cores     int          `json:"cores"`
+	Model     modelJSON    `json:"model"`
+	Tasks     task.Set     `json:"tasks"`
+}
+
+type modelJSON struct {
+	Gamma float64 `json:"gamma,omitempty"`
+	Alpha float64 `json:"alpha"`
+	P0    float64 `json:"p0"`
+}
+
+type segmentJSON struct {
+	Task      int     `json:"task"`
+	Core      int     `json:"core"`
+	Start     float64 `json:"start"`
+	End       float64 `json:"end"`
+	Frequency float64 `json:"frequency"`
+}
+
+type scheduleResponse struct {
+	Energy   float64       `json:"energy"`
+	Cached   bool          `json:"cached"`
+	Segments []segmentJSON `json:"segments"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// stats is one worker's tally; workers keep private stats and the main
+// goroutine merges them, so the hot loop takes no locks.
+type stats struct {
+	ok, cached, verifyFail int64
+	codes                  map[int]int64
+	latencies              []float64 // milliseconds
+	firstErr               string
+}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8080", "schedd base URL")
+		conc      = flag.Int("c", 16, "concurrent connections")
+		duration  = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
+		count     = flag.Int64("n", 0, "total requests (0 = run for -duration)")
+		algorithm = flag.String("algorithm", "S^F2", "algorithm name (see GET /v1/algorithms)")
+		cores     = flag.Int("cores", 4, "core count m")
+		alpha     = flag.Float64("alpha", 3, "power-model exponent")
+		p0        = flag.Float64("p0", 0.05, "power-model static term")
+		gamma     = flag.Float64("gamma", 1, "power-model coefficient")
+		ntasks    = flag.Int("ntasks", 20, "tasks per generated instance")
+		distinct  = flag.Int("distinct", 16, "distinct generated instances cycled round-robin")
+		seed      = flag.Int64("seed", 1, "workload RNG seed")
+		tasksFile = flag.String("tasks", "", "replay one instance from a JSON/CSV file instead of generating")
+		noVerify  = flag.Bool("no-verify", false, "skip client-side schedule validation")
+		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+	)
+	flag.Parse()
+
+	pm := power.Model{Gamma: *gamma, Alpha: *alpha, P0: *p0}
+	if err := pm.Validate(); err != nil {
+		fatalf("%v", err)
+	}
+	instances, err := buildInstances(*tasksFile, *ntasks, *distinct, *seed)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	// Pre-marshal every request body once; the hot loop only POSTs.
+	bodies := make([][]byte, len(instances))
+	for i, ts := range instances {
+		b, err := json.Marshal(scheduleRequest{
+			Algorithm: *algorithm, Cores: *cores,
+			Model: modelJSON{Gamma: *gamma, Alpha: *alpha, P0: *p0},
+			Tasks: ts,
+		})
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		bodies[i] = b
+	}
+
+	client := &http.Client{
+		Timeout: *timeout,
+		Transport: &http.Transport{
+			MaxIdleConns:        *conc,
+			MaxIdleConnsPerHost: *conc,
+		},
+	}
+	url := strings.TrimRight(*addr, "/") + "/v1/schedule"
+
+	var issued atomic.Int64
+	deadline := time.Now().Add(*duration)
+	next := func() int64 {
+		n := issued.Add(1)
+		if *count > 0 {
+			if n > *count {
+				return -1
+			}
+			return n - 1
+		}
+		if time.Now().After(deadline) {
+			return -1
+		}
+		return n - 1
+	}
+
+	fmt.Fprintf(os.Stderr, "schedload: %d conns -> %s algo=%s cores=%d instances=%d(%d tasks)\n",
+		*conc, url, *algorithm, *cores, len(instances), len(instances[0]))
+
+	all := make([]*stats, *conc)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		st := &stats{codes: make(map[int]int64)}
+		all[w] = st
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next()
+				if i < 0 {
+					return
+				}
+				k := int(i) % len(instances)
+				shoot(client, url, bodies[k], instances[k], *cores, pm, *noVerify, st)
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	report(all, elapsed)
+	for _, st := range all {
+		if st.verifyFail > 0 || st.firstErr != "" {
+			os.Exit(1)
+		}
+	}
+}
+
+// shoot issues one request and records the outcome into st.
+func shoot(client *http.Client, url string, body []byte, ts task.Set, cores int, pm power.Model, noVerify bool, st *stats) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		st.codes[-1]++
+		if st.firstErr == "" {
+			st.firstErr = err.Error()
+		}
+		return
+	}
+	payload, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	lat := float64(time.Since(t0)) / float64(time.Millisecond)
+	if err != nil {
+		st.codes[-1]++
+		if st.firstErr == "" {
+			st.firstErr = err.Error()
+		}
+		return
+	}
+	st.codes[resp.StatusCode]++
+	if resp.StatusCode != http.StatusOK {
+		if st.firstErr == "" {
+			var e errorResponse
+			_ = json.Unmarshal(payload, &e)
+			st.firstErr = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, e.Error)
+		}
+		return
+	}
+	var sr scheduleResponse
+	if err := json.Unmarshal(payload, &sr); err != nil {
+		st.codes[-1]++
+		if st.firstErr == "" {
+			st.firstErr = fmt.Sprintf("bad response body: %v", err)
+		}
+		return
+	}
+	st.ok++
+	st.latencies = append(st.latencies, lat)
+	if sr.Cached {
+		st.cached++
+	}
+	if !noVerify {
+		sched := schedule.New(ts, cores)
+		for _, seg := range sr.Segments {
+			sched.Add(schedule.Segment{
+				Task: seg.Task, Core: seg.Core,
+				Start: seg.Start, End: seg.End, Frequency: seg.Frequency,
+			})
+		}
+		if violations := check.Validate(sched, ts, cores, pm); len(violations) > 0 {
+			st.verifyFail++
+			if st.firstErr == "" {
+				st.firstErr = fmt.Sprintf("validator: %v", violations[0])
+			}
+		}
+	}
+}
+
+// buildInstances loads the fixed instance from file, or generates
+// `distinct` paper-default workloads of n tasks each.
+func buildInstances(file string, n, distinct int, seed int64) ([]task.Set, error) {
+	if file != "" {
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var ts task.Set
+		if strings.EqualFold(filepath.Ext(file), ".csv") {
+			ts, err = task.ReadCSV(f)
+		} else {
+			ts, err = task.Read(f)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return []task.Set{ts}, nil
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]task.Set, 0, distinct)
+	for i := 0; i < distinct; i++ {
+		ts, err := task.Generate(rng, task.PaperDefaults(n))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+// report merges worker tallies and prints the run summary.
+func report(all []*stats, elapsed time.Duration) {
+	var ok, cached, verifyFail int64
+	codes := make(map[int]int64)
+	var lats []float64
+	firstErr := ""
+	for _, st := range all {
+		ok += st.ok
+		cached += st.cached
+		verifyFail += st.verifyFail
+		for c, n := range st.codes {
+			codes[c] += n
+		}
+		lats = append(lats, st.latencies...)
+		if firstErr == "" {
+			firstErr = st.firstErr
+		}
+	}
+	sort.Float64s(lats)
+	q := func(p float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+	var errs int64
+	for c, n := range codes {
+		if c != http.StatusOK {
+			errs += n
+		}
+	}
+	fmt.Printf("requests:   %d ok, %d errors, %d validator failures\n", ok, errs, verifyFail)
+	fmt.Printf("throughput: %.1f req/s over %s\n", float64(ok)/elapsed.Seconds(), elapsed.Round(time.Millisecond))
+	if len(lats) > 0 {
+		fmt.Printf("latency ms: p50=%.3f p90=%.3f p99=%.3f max=%.3f\n", q(0.50), q(0.90), q(0.99), lats[len(lats)-1])
+	}
+	if ok > 0 {
+		fmt.Printf("cache:      %d hits (%.1f%% of ok responses)\n", cached, 100*float64(cached)/float64(ok))
+	}
+	if len(codes) > 1 || codes[http.StatusOK] == 0 {
+		keys := make([]int, 0, len(codes))
+		for c := range codes {
+			keys = append(keys, c)
+		}
+		sort.Ints(keys)
+		for _, c := range keys {
+			label := fmt.Sprintf("HTTP %d", c)
+			if c == -1 {
+				label = "transport error"
+			}
+			fmt.Printf("  %-16s %d\n", label, codes[c])
+		}
+	}
+	if firstErr != "" {
+		fmt.Printf("first error: %s\n", firstErr)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "schedload: "+format+"\n", args...)
+	os.Exit(2)
+}

@@ -1,19 +1,26 @@
 // Command taskgen generates random aperiodic workloads with the paper's
-// distributions and writes them as JSON, ready for cmd/schedviz or any
-// consumer of the easched API.
+// distributions and writes them as JSON or CSV, ready for cmd/schedviz,
+// cmd/schedload, or any consumer of the easched API.
 //
 // Usage:
 //
 //	taskgen -n 20 -seed 7 > workload.json
+//	taskgen -n 20 -o workload.csv -format csv
 //	taskgen -n 20 -profile xscale -intensity-lo 0.3 > xscale.json
 //	taskgen -n 10 -release-hi 50 -work-lo 5 -work-hi 15
+//
+// With -o the format is inferred from the file extension (.csv or
+// .json) unless -format forces one.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"repro/internal/task"
 )
@@ -23,6 +30,8 @@ func main() {
 		n           = flag.Int("n", 20, "number of tasks")
 		seed        = flag.Int64("seed", 1, "RNG seed")
 		profile     = flag.String("profile", "paper", "workload profile: paper or xscale")
+		out         = flag.String("o", "", "output file (default stdout)")
+		format      = flag.String("format", "", "output format: json or csv (default json, or inferred from -o extension)")
 		releaseHi   = flag.Float64("release-hi", 0, "override release upper bound")
 		workLo      = flag.Float64("work-lo", 0, "override work lower bound")
 		workHi      = flag.Float64("work-hi", 0, "override work upper bound")
@@ -61,12 +70,46 @@ func main() {
 		p.IntensityChoices = task.GridIntensities()
 	}
 
+	f := strings.ToLower(*format)
+	if f == "" {
+		if strings.EqualFold(filepath.Ext(*out), ".csv") {
+			f = "csv"
+		} else {
+			f = "json"
+		}
+	}
+	if f != "json" && f != "csv" {
+		fmt.Fprintf(os.Stderr, "taskgen: unknown format %q (want json or csv)\n", f)
+		os.Exit(2)
+	}
+
 	ts, err := task.Generate(rand.New(rand.NewSource(*seed)), p)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
 		os.Exit(1)
 	}
-	if err := ts.Write(os.Stdout); err != nil {
+
+	var w io.Writer = os.Stdout
+	var file *os.File
+	if *out != "" {
+		file, err = os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
+			os.Exit(1)
+		}
+		w = file
+	}
+	if f == "csv" {
+		err = ts.WriteCSV(w)
+	} else {
+		err = ts.Write(w)
+	}
+	if file != nil {
+		if cerr := file.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,8 @@
 package easched
 
 import (
+	"fmt"
+
 	"repro/internal/check"
 )
 
@@ -34,4 +36,21 @@ func Verify(t *Timetable, tasks TaskSet, cores int, m Model) []Violation {
 // CrossCheckReport.OK and CrossCheckReport.Summary.
 func CrossCheck(tasks TaskSet, cores int, m Model) (*CrossCheckReport, error) {
 	return check.Differential(tasks, cores, m)
+}
+
+// Algorithms returns the sorted names of every scheduler registered with
+// the universal cross-check (e.g. "S^F2", "YDS", "ReplanDER"). These are
+// the algorithm identifiers accepted by RunAlgorithm and by the schedd
+// HTTP service.
+func Algorithms() []string { return check.Names() }
+
+// RunAlgorithm dispatches to a registered scheduler by name and returns
+// the realized schedule together with the energy the scheduler itself
+// reports. Unknown names are an error; see Algorithms for the valid set.
+func RunAlgorithm(name string, tasks TaskSet, cores int, m Model) (*Timetable, float64, error) {
+	e, ok := check.Lookup(name)
+	if !ok {
+		return nil, 0, fmt.Errorf("easched: unknown algorithm %q (have %v)", name, check.Names())
+	}
+	return e.Run(tasks, cores, m)
 }

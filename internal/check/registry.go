@@ -61,3 +61,21 @@ func Entries() []Entry {
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
 }
+
+// Lookup returns the scheduler registered under name.
+func Lookup(name string) (Entry, bool) {
+	registry.Lock()
+	defer registry.Unlock()
+	e, ok := registry.entries[name]
+	return e, ok
+}
+
+// Names returns the sorted names of all registered schedulers.
+func Names() []string {
+	entries := Entries()
+	out := make([]string, len(entries))
+	for i, e := range entries {
+		out[i] = e.Name
+	}
+	return out
+}

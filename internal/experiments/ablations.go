@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"math/rand"
-	"sync"
 
 	"repro/internal/alloc"
 	"repro/internal/core"
@@ -25,23 +24,16 @@ func ablationPoint(cfg Config, expID, pointIdx int,
 	stream := stats.NewStream(cfg.Seed)
 	out := make([]map[string]float64, cfg.Replications)
 	errs := make([]error, cfg.Replications)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for rep := 0; rep < cfg.Replications; rep++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(rep int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ts, err := gen(stream.Rand(expID, pointIdx, rep))
-			if err != nil {
-				errs[rep] = err
-				return
-			}
-			out[rep], errs[rep] = measure(ts)
-		}(rep)
+	if err := runReps(cfg, func(rep int) {
+		ts, err := gen(stream.Rand(expID, pointIdx, rep))
+		if err != nil {
+			errs[rep] = err
+			return
+		}
+		out[rep], errs[rep] = measure(ts)
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -38,6 +39,10 @@ type Config struct {
 	Workers int
 	// Opt tunes the E^opt solver.
 	Opt opt.Options
+	// Context, when non-nil, cancels a sweep early: no new replications
+	// start once it is done, in-flight ones finish, and the experiment
+	// returns ctx.Err(). Used by cmd/energysim for SIGINT.
+	Context context.Context
 }
 
 // Defaults returns the paper's configuration: 100 replications. The
@@ -215,6 +220,40 @@ func runInstance(ts task.Set, m int, pm power.Model, optOpts opt.Options) (NEC, 
 	}, nil
 }
 
+// runReps executes fn(rep) for rep in [0, Replications) on cfg.Workers
+// goroutines. When cfg.Context is canceled, no further replications
+// start, in-flight ones drain, and the context error is returned — this
+// is what lets a Ctrl-C abort a long sweep cleanly instead of running
+// the remaining replications to completion.
+func runReps(cfg Config, fn func(rep int)) error {
+	cfg = cfg.withDefaults()
+	ctx := cfg.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for rep := 0; rep < cfg.Replications; rep++ {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return ctx.Err()
+		case sem <- struct{}{}:
+		}
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				return
+			}
+			fn(rep)
+		}(rep)
+	}
+	wg.Wait()
+	return ctx.Err()
+}
+
 // sweepPoint runs cfg.Replications instances at one sweep coordinate in
 // parallel, with per-replication deterministic RNGs, and aggregates the
 // five series. gen produces the workload from a replication RNG; m and pm
@@ -225,23 +264,16 @@ func sweepPoint(cfg Config, expID, pointIdx int, gen func(rng *rand.Rand) (task.
 	necs := make([]NEC, cfg.Replications)
 	errs := make([]error, cfg.Replications)
 
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for rep := 0; rep < cfg.Replications; rep++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(rep int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			ts, err := gen(stream.Rand(expID, pointIdx, rep))
-			if err != nil {
-				errs[rep] = err
-				return
-			}
-			necs[rep], errs[rep] = runInstance(ts, m, pm, cfg.Opt)
-		}(rep)
+	if err := runReps(cfg, func(rep int) {
+		ts, err := gen(stream.Rand(expID, pointIdx, rep))
+		if err != nil {
+			errs[rep] = err
+			return
+		}
+		necs[rep], errs[rep] = runInstance(ts, m, pm, cfg.Opt)
+	}); err != nil {
+		return nil, fmt.Errorf("experiments: point %d: %w", pointIdx, err)
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: point %d: %w", pointIdx, err)

@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sync"
 
 	"repro/internal/core"
 	"repro/internal/discrete"
@@ -97,26 +96,20 @@ func Fig11(cfg Config) (*Result, error) {
 
 func fig11Point(cfg Config, pointIdx int, gp task.GenParams, pm power.Model, tab *power.Table) (*Point, error) {
 	stream := stats.NewStream(cfg.Seed)
+	cfg = cfg.withDefaults()
 	out := make([]practicalNEC, cfg.Replications)
 	errs := make([]error, cfg.Replications)
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for rep := 0; rep < cfg.Replications; rep++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(rep int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			rng := stream.Rand(idFig11, pointIdx, rep)
-			ts, err := task.Generate(rng, gp)
-			if err != nil {
-				errs[rep] = err
-				return
-			}
-			out[rep], errs[rep] = practicalInstance(ts, 4, pm, tab, cfg.Opt)
-		}(rep)
+	if err := runReps(cfg, func(rep int) {
+		rng := stream.Rand(idFig11, pointIdx, rep)
+		ts, err := task.Generate(rng, gp)
+		if err != nil {
+			errs[rep] = err
+			return
+		}
+		out[rep], errs[rep] = practicalInstance(ts, 4, pm, tab, cfg.Opt)
+	}); err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

@@ -1,0 +1,116 @@
+package server
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// cacheKey is a canonical hash of one (instance, algorithm, power-model)
+// triple. Two requests collide exactly when they describe the same solve:
+// same algorithm name, same core count, bit-identical model coefficients,
+// and bit-identical task triples in the same order.
+type cacheKey [sha256.Size]byte
+
+// solveKey canonicalizes the solve inputs into a cacheKey. Floats are
+// hashed by their IEEE-754 bit patterns, so -0 and 0 (and any two values
+// that print alike but differ in the last ulp) are distinct — the cache
+// never conflates instances that could solve differently.
+func solveKey(algorithm string, ts task.Set, cores int, pm power.Model) cacheKey {
+	h := sha256.New()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putF := func(f float64) { put(math.Float64bits(f)) }
+	h.Write([]byte(algorithm))
+	h.Write([]byte{0}) // terminate the name so "A"+cores can't alias "Ac"+ores
+	put(uint64(cores))
+	putF(pm.Gamma)
+	putF(pm.Alpha)
+	putF(pm.P0)
+	put(uint64(len(ts)))
+	for _, t := range ts {
+		putF(t.Release)
+		putF(t.Work)
+		putF(t.Deadline)
+	}
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// solveCache is a mutex-guarded LRU over completed solve outcomes. Only
+// successful, verified solves are inserted, so a hit can be served
+// without re-running the guardrail.
+type solveCache struct {
+	mu       sync.Mutex
+	capacity int
+	order    *list.List // front = most recent; values are *cacheEntry
+	byKey    map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	val *ScheduleResponse
+}
+
+// newSolveCache returns a cache holding up to capacity outcomes; a
+// capacity ≤ 0 disables caching (every Get misses, Put is a no-op).
+func newSolveCache(capacity int) *solveCache {
+	return &solveCache{
+		capacity: capacity,
+		order:    list.New(),
+		byKey:    make(map[cacheKey]*list.Element),
+	}
+}
+
+// Get returns the cached outcome for key, promoting it to most recent.
+func (c *solveCache) Get(key cacheKey) (*ScheduleResponse, bool) {
+	if c.capacity <= 0 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).val, true
+}
+
+// Put inserts (or refreshes) the outcome for key, evicting the least
+// recently used entry when over capacity. The stored response is shared
+// between hits, so callers must treat it as immutable.
+func (c *solveCache) Put(key cacheKey, val *ScheduleResponse) {
+	if c.capacity <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len reports the current number of cached outcomes.
+func (c *solveCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

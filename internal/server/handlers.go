@@ -1,0 +1,286 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/feas"
+	"repro/internal/interval"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+	"repro/internal/trace"
+)
+
+// writeJSON emits v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// writeError emits a JSON error body.
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// retryAfter marks an overload/draining response as retryable.
+func retryAfter(w http.ResponseWriter, seconds int) {
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", seconds))
+}
+
+// solveResult carries one solver outcome across the cancellation select.
+type solveResult struct {
+	sched  *schedule.Schedule
+	energy float64
+	err    error
+}
+
+// runSolve executes a registered scheduler under ctx. The solver itself
+// is synchronous, so cancellation abandons the goroutine: the result is
+// discarded when it eventually finishes, and the worker slot is held
+// until then — which is exactly what keeps a flood of canceled requests
+// from oversubscribing the CPU.
+func runSolve(ctx context.Context, e check.Entry, ts task.Set, m int, pm power.Model, done func()) solveResult {
+	ch := make(chan solveResult, 1)
+	go func() {
+		defer done()
+		defer func() {
+			if r := recover(); r != nil {
+				ch <- solveResult{err: fmt.Errorf("solver panic: %v", r)}
+			}
+		}()
+		s, energy, err := e.Run(ts, m, pm)
+		ch <- solveResult{sched: s, energy: energy, err: err}
+	}()
+	select {
+	case res := <-ch:
+		return res
+	case <-ctx.Done():
+		return solveResult{err: ctx.Err()}
+	}
+}
+
+// handleSchedule serves POST /v1/schedule.
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		retryAfter(w, 1)
+		s.metrics.draining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	start := time.Now()
+
+	var req ScheduleRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validateInstance(req.Tasks, req.Cores, s.cfg.MaxTasks); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	pm, err := req.Model.Model()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	entry, ok := check.Lookup(req.Algorithm)
+	if !ok {
+		writeError(w, http.StatusNotFound,
+			"unknown algorithm %q (have %v)", req.Algorithm, check.Names())
+		return
+	}
+
+	key := solveKey(req.Algorithm, req.Tasks, req.Cores, pm)
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := *cached // shallow copy; Segments slice is shared read-only
+		resp.Cached = true
+		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+		s.respondSchedule(w, r, &resp, nil)
+		return
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// Admission: observe the queue depth this request sees, then wait for
+	// a worker slot (or bail out on overload / client death).
+	s.metrics.queueDepth.Observe(float64(s.gate.depth()))
+	ctx := r.Context()
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errOverload):
+			s.metrics.overload.Add(1)
+			retryAfter(w, 1)
+			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
+		default:
+			s.metrics.canceled.Add(1)
+			writeError(w, statusForCtxErr(err), "request ended while queued: %v", err)
+		}
+		return
+	}
+	// The slot is released by the solve goroutine itself (see runSolve),
+	// so an abandoned solve keeps its worker until it actually returns.
+	s.metrics.solves.Add(1)
+	res := runSolve(ctx, entry, req.Tasks, req.Cores, pm, s.gate.release)
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			s.metrics.canceled.Add(1)
+			writeError(w, statusForCtxErr(res.err), "solve aborted: %v", res.err)
+		default:
+			s.metrics.solveErrors.Add(1)
+			writeError(w, http.StatusUnprocessableEntity, "solve failed: %v", res.err)
+		}
+		return
+	}
+
+	// Guardrail: never ship a schedule the universal validator rejects.
+	if !s.cfg.DisableVerify {
+		if violations := check.Validate(res.sched, req.Tasks, req.Cores, pm); len(violations) > 0 {
+			s.metrics.verifyFailures.Add(1)
+			writeError(w, http.StatusInternalServerError,
+				"produced schedule failed verification: %v (+%d more)",
+				violations[0], len(violations)-1)
+			return
+		}
+	}
+
+	resp := &ScheduleResponse{
+		Algorithm: req.Algorithm,
+		Cores:     req.Cores,
+		Energy:    res.energy,
+		BusyTime:  res.sched.BusyTime(),
+		Makespan:  res.sched.Makespan(),
+		Verified:  !s.cfg.DisableVerify,
+		Segments:  segmentsJSON(res.sched),
+	}
+	s.cache.Put(key, resp)
+	out := *resp
+	out.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.respondSchedule(w, r, &out, res.sched)
+}
+
+// respondSchedule writes either the JSON schedule payload or, with
+// ?trace=chrome, a Chrome trace-event document of the schedule (ready
+// for chrome://tracing / Perfetto). Cached responses reconstruct the
+// schedule from the stored segments.
+func (s *Server) respondSchedule(w http.ResponseWriter, r *http.Request, resp *ScheduleResponse, sched *schedule.Schedule) {
+	if r.URL.Query().Get("trace") == "chrome" {
+		if sched == nil {
+			sched = &schedule.Schedule{Cores: resp.Cores}
+			for _, seg := range resp.Segments {
+				sched.Add(schedule.Segment{
+					Task: seg.Task, Core: seg.Core,
+					Start: seg.Start, End: seg.End, Frequency: seg.Frequency,
+				})
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="schedule.trace.json"`)
+		if err := trace.WriteChrome(w, sched, 1e3); err != nil {
+			s.cfg.Logger.Printf("msg=%q err=%q", "chrome trace write failed", err)
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statusForCtxErr maps a context error to the HTTP status of the (likely
+// unread) response: 504 for a deadline, 503 for client cancellation.
+func statusForCtxErr(err error) int {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusServiceUnavailable
+}
+
+// handleFeasible serves POST /v1/feasible: the max-flow schedulability
+// test at the requested uniform speed ceiling (default 1.0, the paper's
+// normalized f_max) plus the bisected minimal feasible speed.
+func (s *Server) handleFeasible(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	var req FeasibleRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := validateInstance(req.Tasks, req.Cores, s.cfg.MaxTasks); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	speed := req.Speed
+	if speed == 0 {
+		speed = 1
+	}
+	if speed < 0 {
+		writeError(w, http.StatusBadRequest, "speed %g must be positive", speed)
+		return
+	}
+	d, err := interval.Decompose(req.Tasks, 1e-9)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	feasible, _, err := feas.Feasible(d, req.Cores, speed)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	minSpeed, _, err := feas.MinSpeed(d, req.Cores, 1e-9)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, FeasibleResponse{
+		Feasible: feasible,
+		Speed:    speed,
+		MinSpeed: minSpeed,
+	})
+}
+
+// handleAlgorithms serves GET /v1/algorithms.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		return
+	}
+	writeJSON(w, http.StatusOK, AlgorithmsResponse{Algorithms: check.Names()})
+}
+
+// handleHealthz serves GET /healthz; 503 while draining so load
+// balancers stop routing here during shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"algorithms": len(check.Names()),
+	})
+}
+
+// handleMetrics serves GET /metrics as expvar-style text.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	s.metrics.Write(w)
+}

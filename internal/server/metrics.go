@@ -1,0 +1,169 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyBucketsMS are the upper bounds (in milliseconds) of the request
+// latency histogram; a final implicit +Inf bucket catches the rest.
+var latencyBucketsMS = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
+}
+
+// queueBuckets are the upper bounds of the queue-depth-at-admission
+// histogram.
+var queueBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
+
+// histogram is a fixed-bucket counting histogram safe for concurrent
+// observation. Bounds are inclusive upper edges; counts[len(bounds)] is
+// the +Inf bucket.
+type histogram struct {
+	bounds []float64
+	counts []atomic.Int64
+	sum    atomicFloat
+	n      atomic.Int64
+}
+
+func newHistogram(bounds []float64) *histogram {
+	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.n.Add(1)
+}
+
+// write emits the histogram in cumulative prometheus-style text lines.
+func (h *histogram) write(w io.Writer, name string) {
+	var cum int64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum)
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.sum.Load()))
+	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
+}
+
+func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
+
+// atomicFloat is a float64 accumulated with a mutex; observation rates
+// here (one add per request) make contention negligible, and a mutex
+// avoids a CAS loop.
+type atomicFloat struct {
+	mu sync.Mutex
+	v  float64
+}
+
+func (a *atomicFloat) Add(d float64) {
+	a.mu.Lock()
+	a.v += d
+	a.mu.Unlock()
+}
+
+func (a *atomicFloat) Load() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.v
+}
+
+// Metrics is the server's observability surface: atomic counters and
+// histograms exported as expvar-style text on GET /metrics.
+type Metrics struct {
+	start time.Time
+
+	// Request/response accounting.
+	requests  atomic.Int64 // requests accepted into handlers
+	inflight  atomic.Int64 // currently being handled
+	responses sync.Map     // status code (int) -> *atomic.Int64
+
+	// Solver accounting.
+	solves         atomic.Int64 // solves actually executed (cache misses)
+	solveErrors    atomic.Int64 // solver returned an error
+	verifyFailures atomic.Int64 // guardrail rejected a produced schedule
+	canceled       atomic.Int64 // request context ended before/during solve
+
+	// Admission accounting.
+	overload atomic.Int64 // 429 rejections (queue full)
+	draining atomic.Int64 // 503 rejections (shutdown in progress)
+
+	// Cache accounting.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+
+	// Histograms.
+	latencyMS  *histogram // end-to-end /v1/schedule handling time
+	queueDepth *histogram // admission-time queue depth
+
+	// queueNow is sampled live from the admission gate at scrape time.
+	queueNow func() int64
+}
+
+func newMetrics(queueNow func() int64) *Metrics {
+	return &Metrics{
+		start:      time.Now(),
+		latencyMS:  newHistogram(latencyBucketsMS),
+		queueDepth: newHistogram(queueBuckets),
+		queueNow:   queueNow,
+	}
+}
+
+// response counts one response with the given HTTP status code.
+func (m *Metrics) response(code int) {
+	v, _ := m.responses.LoadOrStore(code, new(atomic.Int64))
+	v.(*atomic.Int64).Add(1)
+}
+
+// CacheHitRate returns hits/(hits+misses), or 0 before any lookup.
+func (m *Metrics) CacheHitRate() float64 {
+	h, s := m.cacheHits.Load(), m.cacheMisses.Load()
+	if h+s == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+s)
+}
+
+// Write emits every metric as "name value" text lines (stable order).
+func (m *Metrics) Write(w io.Writer) {
+	fmt.Fprintf(w, "schedd_uptime_seconds %s\n", fmtFloat(time.Since(m.start).Seconds()))
+	fmt.Fprintf(w, "schedd_requests_total %d\n", m.requests.Load())
+	fmt.Fprintf(w, "schedd_inflight %d\n", m.inflight.Load())
+
+	type codeCount struct {
+		code int
+		n    int64
+	}
+	var codes []codeCount
+	m.responses.Range(func(k, v any) bool {
+		codes = append(codes, codeCount{k.(int), v.(*atomic.Int64).Load()})
+		return true
+	})
+	sort.Slice(codes, func(i, j int) bool { return codes[i].code < codes[j].code })
+	for _, c := range codes {
+		fmt.Fprintf(w, "schedd_responses_total{code=\"%d\"} %d\n", c.code, c.n)
+	}
+
+	fmt.Fprintf(w, "schedd_solves_total %d\n", m.solves.Load())
+	fmt.Fprintf(w, "schedd_solve_errors_total %d\n", m.solveErrors.Load())
+	fmt.Fprintf(w, "schedd_verify_failures_total %d\n", m.verifyFailures.Load())
+	fmt.Fprintf(w, "schedd_canceled_total %d\n", m.canceled.Load())
+	fmt.Fprintf(w, "schedd_overload_rejections_total %d\n", m.overload.Load())
+	fmt.Fprintf(w, "schedd_draining_rejections_total %d\n", m.draining.Load())
+	fmt.Fprintf(w, "schedd_cache_hits_total %d\n", m.cacheHits.Load())
+	fmt.Fprintf(w, "schedd_cache_misses_total %d\n", m.cacheMisses.Load())
+	fmt.Fprintf(w, "schedd_cache_hit_rate %s\n", fmtFloat(m.CacheHitRate()))
+	if m.queueNow != nil {
+		fmt.Fprintf(w, "schedd_queue_depth %d\n", m.queueNow())
+	}
+	m.latencyMS.write(w, "schedd_latency_ms")
+	m.queueDepth.write(w, "schedd_queue_depth_at_admission")
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	h := newHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	// Bounds are inclusive upper edges: 0.5 and 1 land in le=1; 5 in
+	// le=10; 50 in le=100; 500 in +Inf. Cumulative: 2, 3, 4, 5.
+	var buf bytes.Buffer
+	h.write(&buf, "x")
+	for _, want := range []string{
+		`x_bucket{le="1"} 2`,
+		`x_bucket{le="10"} 3`,
+		`x_bucket{le="100"} 4`,
+		`x_bucket{le="+Inf"} 5`,
+		`x_sum 556.5`,
+		`x_count 5`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMetricsWriteAndHitRate(t *testing.T) {
+	m := newMetrics(func() int64 { return 3 })
+	if m.CacheHitRate() != 0 {
+		t.Fatal("hit rate before any lookup should be 0")
+	}
+	m.cacheHits.Add(3)
+	m.cacheMisses.Add(1)
+	if got := m.CacheHitRate(); got != 0.75 {
+		t.Fatalf("hit rate %g, want 0.75", got)
+	}
+	m.response(200)
+	m.response(200)
+	m.response(429)
+
+	var buf bytes.Buffer
+	m.Write(&buf)
+	for _, want := range []string{
+		`schedd_responses_total{code="200"} 2`,
+		`schedd_responses_total{code="429"} 1`,
+		"schedd_cache_hit_rate 0.75",
+		"schedd_queue_depth 3",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+	// Status codes must appear in sorted order for scrape stability.
+	if strings.Index(buf.String(), `code="200"`) > strings.Index(buf.String(), `code="429"`) {
+		t.Fatal("response codes not sorted")
+	}
+}

@@ -1,0 +1,12 @@
+package server
+
+// Pull in every scheduler package for its check.Register side effect, so
+// the service always serves the full PR-2 registry (the subinterval
+// heuristics, YDS, the online replanner, and the partitioned baseline)
+// regardless of what the embedding binary imports.
+import (
+	_ "repro/internal/core"
+	_ "repro/internal/online"
+	_ "repro/internal/partition"
+	_ "repro/internal/yds"
+)

@@ -1,0 +1,193 @@
+// Package server is the serving layer of the repository: an HTTP JSON
+// API that puts every registered scheduler behind a production-shaped
+// daemon (cmd/schedd). The paper pitches the subinterval heuristic as
+// cheap enough for practical systems (Section VI.D); this package is
+// that deployment: admission-controlled solves with per-request
+// deadlines, an LRU cache over canonical instance hashes, an in-band
+// easched.Verify guardrail so an invalid schedule is never shipped, and
+// first-class observability (request counters, latency and queue-depth
+// histograms, structured per-request log lines, Chrome-trace responses,
+// pprof).
+//
+// Endpoints:
+//
+//	POST /v1/schedule    solve an instance with a registered algorithm
+//	POST /v1/feasible    max-flow feasibility + minimal uniform speed
+//	GET  /v1/algorithms  registered algorithm names
+//	GET  /healthz        liveness (503 while draining)
+//	GET  /metrics        expvar-style text metrics
+//	     /debug/pprof/*  runtime profiles
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sync/atomic"
+	"time"
+)
+
+// Config tunes the service. The zero value is usable: sensible defaults
+// are applied by New.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8080").
+	Addr string
+	// Workers bounds concurrent solves (default GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for a worker before 429; 0 uses the
+	// default (64) and a negative value allows no waiting at all.
+	Queue int
+	// CacheSize is the LRU solve-cache capacity; 0 uses the default
+	// (1024) and a negative value disables caching.
+	CacheSize int
+	// SolveTimeout is the per-request solve deadline (default 5s;
+	// negative disables).
+	SolveTimeout time.Duration
+	// MaxTasks rejects larger instances with 400 (default 10000).
+	MaxTasks int
+	// DisableVerify turns off the in-band schedule verification
+	// guardrail (only sensible in microbenchmarks).
+	DisableVerify bool
+	// GraceTimeout bounds draining on shutdown (default 5s).
+	GraceTimeout time.Duration
+	// Logger receives one structured line per request; nil discards.
+	Logger *log.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.Queue == 0:
+		c.Queue = 64
+	case c.Queue < 0:
+		c.Queue = 0
+	}
+	switch {
+	case c.CacheSize == 0:
+		c.CacheSize = 1024
+	case c.CacheSize < 0:
+		c.CacheSize = 0
+	}
+	if c.SolveTimeout == 0 {
+		c.SolveTimeout = 5 * time.Second
+	}
+	if c.MaxTasks <= 0 {
+		c.MaxTasks = 10000
+	}
+	if c.GraceTimeout <= 0 {
+		c.GraceTimeout = 5 * time.Second
+	}
+	if c.Logger == nil {
+		c.Logger = log.New(io.Discard, "", 0)
+	}
+	return c
+}
+
+// Server is the scheduling service: handlers plus the admission gate,
+// solve cache, and metrics they share.
+type Server struct {
+	cfg      Config
+	gate     *gate
+	cache    *solveCache
+	metrics  *Metrics
+	mux      *http.ServeMux
+	draining atomic.Bool
+}
+
+// New builds a Server from cfg (zero value OK).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		gate:  newGate(cfg.Workers, cfg.Queue),
+		cache: newSolveCache(cfg.CacheSize),
+		mux:   http.NewServeMux(),
+	}
+	s.metrics = newMetrics(s.gate.depth)
+
+	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/v1/feasible", s.handleFeasible)
+	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Metrics exposes the server's counters (used by tests and cmd/schedd).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Handler returns the full HTTP handler with request accounting and
+// structured logging wrapped around every route.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.requests.Add(1)
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+
+		elapsed := time.Since(start)
+		s.metrics.response(rec.status)
+		if r.URL.Path == "/v1/schedule" || r.URL.Path == "/v1/feasible" {
+			s.metrics.latencyMS.Observe(float64(elapsed) / float64(time.Millisecond))
+		}
+		s.cfg.Logger.Printf("method=%s path=%s status=%d dur=%s bytes=%d",
+			r.Method, r.URL.Path, rec.status, elapsed.Round(time.Microsecond), rec.bytes)
+	})
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += n
+	return n, err
+}
+
+// ListenAndServe serves until ctx is canceled, then drains: new solves
+// are rejected with 503 while in-flight requests get GraceTimeout to
+// finish.
+func (s *Server) ListenAndServe(ctx context.Context) error {
+	hs := &http.Server{Addr: s.cfg.Addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	s.cfg.Logger.Printf("msg=%q grace=%s", "draining", s.cfg.GraceTimeout)
+	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.GraceTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutCtx); err != nil {
+		hs.Close()
+		return fmt.Errorf("server: shutdown: %w", err)
+	}
+	return nil
+}
