@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke ci serve loadtest clean
+.PHONY: all vet build test race fuzz-smoke ci serve loadtest bench bench-smoke clean
 
 all: build
 
@@ -33,6 +33,20 @@ serve:
 LOAD_ADDR ?= http://localhost:8080
 loadtest:
 	$(GO) run ./cmd/schedload -addr $(LOAD_ADDR) -duration 10s
+
+# Run the fixed solver benchmark matrix and refresh the trajectory file,
+# comparing against the committed previous run
+# (override: make bench BENCH_OUT=BENCH_pr5.json BENCH_PREV=BENCH_pr4.json).
+BENCH_OUT ?= BENCH_pr4.json
+BENCH_PREV ?=
+bench:
+	$(GO) run ./cmd/schedbench -out $(BENCH_OUT) $(if $(BENCH_PREV),-prev $(BENCH_PREV))
+
+# Small-case benchmark smoke for CI: exercises the matrix end to end
+# without meaningful machine-time cost.
+bench-smoke:
+	$(GO) run ./cmd/schedbench -quick -out bench-smoke.json
+	cat bench-smoke.json
 
 clean:
 	$(GO) clean ./...

@@ -7,10 +7,14 @@
 package repro
 
 import (
+	"context"
+	"math/rand"
 	"testing"
 
+	"repro/easched"
 	"repro/internal/experiments"
 	"repro/internal/opt"
+	"repro/internal/task"
 )
 
 // benchConfig is the reduced-replication configuration used by the
@@ -122,3 +126,48 @@ func BenchmarkExtensionCapped(b *testing.B) { benchExperiment(b, "extension-capp
 // BenchmarkExtensionHetero regenerates the leakage-aware assignment
 // comparison.
 func BenchmarkExtensionHetero(b *testing.B) { benchExperiment(b, "extension-hetero") }
+
+// BenchmarkSolveDER measures the unified Solve front door on the
+// benchmark matrix's acceptance instance (DER, n=100, m=16); the same
+// case appears in BENCH_pr4.json via cmd/schedbench.
+func BenchmarkSolveDER(b *testing.B) {
+	rng := rand.New(rand.NewSource(20140901))
+	ts, err := task.Generate(rng, task.PaperDefaults(100))
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := easched.Spec{Tasks: ts, Cores: 16, Model: easched.NewModel(3, 0.05)}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := easched.Solve(ctx, spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolveBatch measures SolveBatch over 16 distinct n=20
+// instances; one op is the whole batch across the worker pool.
+func BenchmarkSolveBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(20140901))
+	pm := easched.NewModel(3, 0.05)
+	specs := make([]easched.Spec, 16)
+	for i := range specs {
+		ts, err := task.Generate(rng, task.PaperDefaults(20))
+		if err != nil {
+			b.Fatal(err)
+		}
+		specs[i] = easched.Spec{Tasks: ts, Cores: 4, Model: pm}
+	}
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, r := range easched.SolveBatch(ctx, specs, 0) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
+	}
+}

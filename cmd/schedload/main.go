@@ -37,39 +37,9 @@ import (
 	"repro/internal/check"
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/server/wire"
 	"repro/internal/task"
 )
-
-type scheduleRequest struct {
-	Algorithm string       `json:"algorithm"`
-	Cores     int          `json:"cores"`
-	Model     modelJSON    `json:"model"`
-	Tasks     task.Set     `json:"tasks"`
-}
-
-type modelJSON struct {
-	Gamma float64 `json:"gamma,omitempty"`
-	Alpha float64 `json:"alpha"`
-	P0    float64 `json:"p0"`
-}
-
-type segmentJSON struct {
-	Task      int     `json:"task"`
-	Core      int     `json:"core"`
-	Start     float64 `json:"start"`
-	End       float64 `json:"end"`
-	Frequency float64 `json:"frequency"`
-}
-
-type scheduleResponse struct {
-	Energy   float64       `json:"energy"`
-	Cached   bool          `json:"cached"`
-	Segments []segmentJSON `json:"segments"`
-}
-
-type errorResponse struct {
-	Error string `json:"error"`
-}
 
 // stats is one worker's tally; workers keep private stats and the main
 // goroutine merges them, so the hot loop takes no locks.
@@ -112,9 +82,9 @@ func main() {
 	// Pre-marshal every request body once; the hot loop only POSTs.
 	bodies := make([][]byte, len(instances))
 	for i, ts := range instances {
-		b, err := json.Marshal(scheduleRequest{
+		b, err := json.Marshal(wire.ScheduleRequest{
 			Algorithm: *algorithm, Cores: *cores,
-			Model: modelJSON{Gamma: *gamma, Alpha: *alpha, P0: *p0},
+			Model: wire.ModelJSON{Gamma: *gamma, Alpha: *alpha, P0: *p0},
 			Tasks: ts,
 		})
 		if err != nil {
@@ -205,13 +175,13 @@ func shoot(client *http.Client, url string, body []byte, ts task.Set, cores int,
 	st.codes[resp.StatusCode]++
 	if resp.StatusCode != http.StatusOK {
 		if st.firstErr == "" {
-			var e errorResponse
+			var e wire.ErrorResponse
 			_ = json.Unmarshal(payload, &e)
 			st.firstErr = fmt.Sprintf("HTTP %d: %s", resp.StatusCode, e.Error)
 		}
 		return
 	}
-	var sr scheduleResponse
+	var sr wire.ScheduleResponse
 	if err := json.Unmarshal(payload, &sr); err != nil {
 		st.codes[-1]++
 		if st.firstErr == "" {

@@ -7,15 +7,15 @@
 //   - describe a workload with Task values (release, work, deadline);
 //   - describe the platform with a power model p(f) = γ·f^α + p0 and a
 //     core count;
-//   - call Schedule to obtain a concrete, validated, collision-free
-//     multi-core DVFS schedule built with the paper's lightweight
-//     subinterval heuristics (evenly allocating or DER-based);
-//   - optionally call Optimal for the convex-programming optimum used to
-//     normalize evaluations, Ideal for the unlimited-core lower bound, or
-//     YDS for the classic uniprocessor baseline;
-//   - quantize a schedule onto a real processor's discrete frequency
-//     table with Quantize, and execute any schedule in the discrete-event
-//     simulator with Simulate.
+//   - call Solve with a Spec to obtain a concrete, validated,
+//     collision-free multi-core DVFS schedule — by default the paper's
+//     recommended DER-based subinterval heuristic — optionally compared
+//     against the convex-programming optimum (Spec.Compare) and
+//     quantized onto a real processor's frequency table (Spec.Discrete);
+//   - call SolveBatch to solve many independent instances across a
+//     worker pool;
+//   - execute any schedule in the discrete-event simulator with
+//     Simulate.
 //
 // A minimal session:
 //
@@ -24,11 +24,16 @@
 //	    easched.T(2, 14, 18),
 //	)
 //	model := easched.NewModel(3, 0.05)     // p(f) = f³ + 0.05
-//	res, err := easched.Schedule(tasks, 4, model, easched.DER)
-//	fmt.Println(res.FinalEnergy, res.Final.Gantt(64))
+//	rep, err := easched.Solve(ctx, easched.Spec{Tasks: tasks, Cores: 4, Model: model})
+//	fmt.Println(rep.Energy, rep.Schedule.Gantt(64))
+//
+// The specialized entry points predating Solve (Schedule, ScheduleBoth,
+// Optimal, YDS, SchedulePartitioned, ScheduleOnline, ScheduleCapped)
+// remain as thin legacy wrappers.
 package easched
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/alloc"
@@ -131,11 +136,25 @@ func FitTable(t *Table) (Model, error) {
 // Schedule runs the paper's subinterval-based scheduler and returns the
 // full plan, including the realized and validated final schedule
 // (res.Final) and its energy (res.FinalEnergy).
+//
+// Legacy wrapper: new code should call Solve, which adds context
+// cancellation, optimal comparison and quantization behind one Spec.
 func Schedule(ts TaskSet, cores int, m Model, method Method) (*Plan, error) {
-	return core.Schedule(ts, cores, m, method, core.Options{Tolerance: 1e-9})
+	sm := MethodDER
+	if method == Even {
+		sm = MethodEven
+	}
+	rep, err := Solve(context.Background(), Spec{Tasks: ts, Cores: cores, Model: m, Method: sm})
+	if err != nil {
+		return nil, err
+	}
+	return rep.Plan, nil
 }
 
 // ScheduleBoth runs both allocation methods and returns (even, der).
+//
+// Legacy wrapper: new code should call Solve once per method (or
+// SolveBatch for many instances).
 func ScheduleBoth(ts TaskSet, cores int, m Model) (*Plan, *Plan, error) {
 	s, err := core.RunSuite(ts, cores, m, core.Options{Tolerance: 1e-9})
 	if err != nil {
@@ -153,6 +172,9 @@ func SearchCores(ts TaskSet, maxCores int, m Model, method Method) (*core.Search
 
 // Optimal solves the reformulated convex program (Theorem 1) and returns
 // the optimal energy E^opt with a duality-gap certificate.
+//
+// Legacy wrapper: Solve with Spec.Compare produces the same solution
+// alongside the heuristic schedule (and honors cancellation).
 func Optimal(ts TaskSet, cores int, m Model) (*opt.Solution, error) {
 	d, err := interval.Decompose(ts, 1e-9)
 	if err != nil {
@@ -166,6 +188,9 @@ func Ideal(ts TaskSet, m Model) (*ideal.Plan, error) { return ideal.Build(ts, m)
 
 // YDS runs the classic uniprocessor optimal algorithm and returns the
 // realized schedule and speed profile.
+//
+// Legacy wrapper: Solve with Spec{Method: MethodYDS} returns the same
+// schedule plus its energy under the spec's model.
 func YDS(ts TaskSet) (*Timetable, *yds.Profile, error) { return yds.Schedule(ts) }
 
 // Quantize maps a continuous schedule onto a processor's discrete

@@ -71,6 +71,8 @@ func Hyperperiod(s PeriodicSystem, quantum float64) (float64, error) {
 // statically assigned to cores (first-fit decreasing) and each core runs
 // the YDS optimal uniprocessor algorithm with a critical-frequency floor.
 // Returns the realized schedule and its energy.
+//
+// Legacy wrapper: prefer Solve with Spec{Method: MethodPartitioned}.
 func SchedulePartitioned(ts TaskSet, cores int, m Model) (*Timetable, float64, error) {
 	return partition.Schedule(ts, cores, m)
 }
@@ -79,6 +81,8 @@ func SchedulePartitioned(ts TaskSet, cores int, m Model) (*Timetable, float64, e
 // DER-based pipeline: re-plan at every task release, follow the plan
 // between releases. Never misses a deadline; pays an energy premium for
 // not knowing future arrivals.
+//
+// Legacy wrapper: prefer Solve with Spec{Method: MethodOnline}.
 func ScheduleOnline(ts TaskSet, cores int, m Model) (*online.Result, error) {
 	return online.ReplanDER(ts, cores, m)
 }
@@ -125,6 +129,9 @@ var ErrInfeasibleAtCap = capped.ErrInfeasible
 // max-flow allocation guarantees every frequency stays at or below it,
 // so no deadline can be missed on any instance that is feasible at the
 // cap (ErrInfeasibleAtCap otherwise).
+//
+// Legacy wrapper: prefer Solve with Spec{Method: MethodCapped,
+// FrequencyCap: cap} (which always uses the DER allocation).
 func ScheduleCapped(ts TaskSet, cores int, m Model, method Method, frequencyCap float64) (*CappedPlan, error) {
 	return capped.Schedule(ts, cores, m, method, frequencyCap)
 }

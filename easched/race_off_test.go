@@ -1,0 +1,11 @@
+//go:build !race
+
+package easched_test
+
+import "time"
+
+// cancelSlack is how long after cancellation a Solve may take to
+// return. The race detector slows the solver loops (and therefore the
+// spacing between context polls) by an order of magnitude, so the
+// budget scales with it — see race_on_test.go.
+const cancelSlack = 50 * time.Millisecond

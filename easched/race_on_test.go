@@ -1,0 +1,10 @@
+//go:build race
+
+package easched_test
+
+import "time"
+
+// Under -race every solver iteration (and so the gap between context
+// polls) runs ~10-20x slower; keep the promptness contract meaningful
+// without flaking by widening the budget accordingly.
+const cancelSlack = 500 * time.Millisecond

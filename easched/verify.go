@@ -1,6 +1,7 @@
 package easched
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/check"
@@ -47,10 +48,15 @@ func Algorithms() []string { return check.Names() }
 // RunAlgorithm dispatches to a registered scheduler by name and returns
 // the realized schedule together with the energy the scheduler itself
 // reports. Unknown names are an error; see Algorithms for the valid set.
-func RunAlgorithm(name string, tasks TaskSet, cores int, m Model) (*Timetable, float64, error) {
+// The context is threaded into the solver, which aborts promptly when it
+// is canceled.
+func RunAlgorithm(ctx context.Context, name string, tasks TaskSet, cores int, m Model) (*Timetable, float64, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	e, ok := check.Lookup(name)
 	if !ok {
 		return nil, 0, fmt.Errorf("easched: unknown algorithm %q (have %v)", name, check.Names())
 	}
-	return e.Run(tasks, cores, m)
+	return e.Run(ctx, tasks, cores, m)
 }

@@ -47,60 +47,113 @@ func (m Method) String() string {
 }
 
 // Allocation is the result of running a policy over a decomposition.
+// Grants are stored densely per task, aligned with the decomposition's
+// contiguous eligibility runs, so building one performs no per-subinterval
+// map allocations.
 type Allocation struct {
 	Method Method
 	Cores  int
-	// PerSub[j] maps task ID → available execution time granted during
-	// subinterval j (absent means zero / not overlapping).
-	PerSub []map[int]float64
+	// grants[i][k] is the grant of task i during its k-th eligible
+	// subinterval (global index first[i]+k); all rows share one backing
+	// array.
+	grants [][]float64
+	// first[i] is the global index of task i's first eligible subinterval.
+	first []int
 	// Total[i] is A_i, task i's total available execution time across all
 	// subintervals.
 	Total []float64
 }
 
 // Grant returns the available time of task i during subinterval j.
-func (a *Allocation) Grant(i, j int) float64 { return a.PerSub[j][i] }
+func (a *Allocation) Grant(i, j int) float64 {
+	k := j - a.first[i]
+	if k < 0 || k >= len(a.grants[i]) {
+		return 0
+	}
+	return a.grants[i][k]
+}
+
+// Grants returns task i's per-subinterval grants aligned with
+// Decomposition.SubsOf(i). The returned slice must not be modified.
+func (a *Allocation) Grants(i int) []float64 { return a.grants[i] }
+
+// Builder runs allocation policies while reusing its internal scratch
+// (DER sort buffers, per-task accumulators) across calls, so a serving
+// loop allocates only the Allocation it returns. The zero value is ready
+// to use; a Builder must not be used concurrently.
+type Builder struct {
+	sorter derSorter
+	totals []numeric.KahanSum
+}
 
 // Build runs the chosen policy. The ideal plan is required only for the
 // DER-based methods; Even accepts a nil plan.
 func Build(d *interval.Decomposition, m int, method Method, plan *ideal.Plan) (*Allocation, error) {
+	var b Builder
+	return b.Build(d, m, method, plan)
+}
+
+// Build runs the chosen policy, reusing the builder's scratch buffers.
+func (b *Builder) Build(d *interval.Decomposition, m int, method Method, plan *ideal.Plan) (*Allocation, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("alloc: need at least one core, have %d", m)
 	}
 	if (method == DER || method == DERAscending) && plan == nil {
 		return nil, fmt.Errorf("alloc: %v allocation needs the ideal plan", method)
 	}
+	n := len(d.Tasks)
 	a := &Allocation{
 		Method: method,
 		Cores:  m,
-		PerSub: make([]map[int]float64, d.NumSubs()),
-		Total:  make([]float64, len(d.Tasks)),
+		grants: make([][]float64, n),
+		first:  make([]int, n),
+		Total:  make([]float64, n),
 	}
-	totals := make([]numeric.KahanSum, len(d.Tasks))
-	for j, sub := range d.Subs {
-		grants := make(map[int]float64, sub.Count())
+	total := 0
+	for i := 0; i < n; i++ {
+		a.first[i] = d.FirstSub(i)
+		total += len(d.SubsOf(i))
+	}
+	backing := make([]float64, total)
+	off := 0
+	for i := 0; i < n; i++ {
+		w := len(d.SubsOf(i))
+		a.grants[i] = backing[off : off+w]
+		off += w
+	}
+
+	if cap(b.totals) < n {
+		b.totals = make([]numeric.KahanSum, n)
+	}
+	totals := b.totals[:n]
+	for i := range totals {
+		totals[i] = numeric.KahanSum{}
+	}
+	set := func(id, j int, g float64) {
+		a.grants[id][j-a.first[id]] = g
+		totals[id].Add(g)
+	}
+	for j := range d.Subs {
+		sub := &d.Subs[j]
 		if !sub.HeavyFor(m) {
 			// Observation 2: every overlapping task may occupy a core for
 			// the whole subinterval.
+			length := sub.Length()
 			for _, id := range sub.Overlapping {
-				grants[id] = sub.Length()
+				set(id, j, length)
 			}
-		} else {
-			switch method {
-			case Even:
-				share := sub.Capacity(m) / float64(sub.Count())
-				for _, id := range sub.Overlapping {
-					grants[id] = share
-				}
-			case DER, DERAscending:
-				allocDER(d, plan, j, m, method == DERAscending, grants)
-			default:
-				return nil, fmt.Errorf("alloc: unknown method %v", method)
-			}
+			continue
 		}
-		a.PerSub[j] = grants
-		for id, g := range grants {
-			totals[id].Add(g)
+		switch method {
+		case Even:
+			share := sub.Capacity(m) / float64(sub.Count())
+			for _, id := range sub.Overlapping {
+				set(id, j, share)
+			}
+		case DER, DERAscending:
+			b.allocDER(d, plan, j, m, method == DERAscending, set)
+		default:
+			return nil, fmt.Errorf("alloc: unknown method %v", method)
 		}
 	}
 	for i := range totals {
@@ -118,6 +171,27 @@ func MustBuild(d *interval.Decomposition, m int, method Method, plan *ideal.Plan
 	return a
 }
 
+// derSorter stable-sorts (id, der) pairs by DER without allocating: the
+// buffers live in the Builder and the sort.Interface dispatch happens
+// through a pointer, so sort.Stable performs no per-call boxing.
+type derSorter struct {
+	ids       []int
+	ders      []float64
+	ascending bool
+}
+
+func (s *derSorter) Len() int { return len(s.ids) }
+func (s *derSorter) Less(a, b int) bool {
+	if s.ascending {
+		return s.ders[a] < s.ders[b]
+	}
+	return s.ders[a] > s.ders[b]
+}
+func (s *derSorter) Swap(a, b int) {
+	s.ids[a], s.ids[b] = s.ids[b], s.ids[a]
+	s.ders[a], s.ders[b] = s.ders[b], s.ders[a]
+}
+
 // allocDER implements Algorithm 2 for one heavily overlapped subinterval.
 // Tasks are processed in descending (or, for the ablation, ascending) DER
 // order. Each task is offered the proportional share
@@ -126,39 +200,39 @@ func MustBuild(d *interval.Decomposition, m int, method Method, plan *ideal.Plan
 // renormalizes the shares after a clamp binds — exactly the arithmetic of
 // the paper's [12,14] example (allocations 2, 1.9231, 1.5385, 1.3846,
 // 1.1538).
-func allocDER(d *interval.Decomposition, plan *ideal.Plan, j, m int, ascending bool, grants map[int]float64) {
-	sub := d.Subs[j]
+func (b *Builder) allocDER(d *interval.Decomposition, plan *ideal.Plan, j, m int, ascending bool, set func(id, j int, g float64)) {
+	sub := &d.Subs[j]
 	length := sub.Length()
-	type td struct {
-		id  int
-		der float64
+	nj := sub.Count()
+	if cap(b.sorter.ids) < nj {
+		b.sorter.ids = make([]int, nj)
+		b.sorter.ders = make([]float64, nj)
 	}
-	tds := make([]td, 0, sub.Count())
+	b.sorter.ids = b.sorter.ids[:nj]
+	b.sorter.ders = b.sorter.ders[:nj]
+	b.sorter.ascending = ascending
 	var totalDER float64
-	for _, id := range sub.Overlapping {
+	for k, id := range sub.Overlapping {
 		der := plan.DER(d, id, j)
-		tds = append(tds, td{id, der})
+		b.sorter.ids[k] = id
+		b.sorter.ders[k] = der
 		totalDER += der
 	}
-	sort.SliceStable(tds, func(a, b int) bool {
-		if ascending {
-			return tds[a].der < tds[b].der
-		}
-		return tds[a].der > tds[b].der
-	})
+	sort.Stable(&b.sorter)
 	capRem := sub.Capacity(m)
 	derRem := totalDER
-	for _, t := range tds {
-		if t.der <= 0 || derRem <= 0 || capRem <= 0 {
-			grants[t.id] = 0
+	for k := 0; k < nj; k++ {
+		id, der := b.sorter.ids[k], b.sorter.ders[k]
+		if der <= 0 || derRem <= 0 || capRem <= 0 {
+			set(id, j, 0)
 			continue
 		}
-		share := t.der / derRem * capRem
+		share := der / derRem * capRem
 		if share > length {
 			share = length
 		}
-		grants[t.id] = share
+		set(id, j, share)
 		capRem -= share
-		derRem -= t.der
+		derRem -= der
 	}
 }

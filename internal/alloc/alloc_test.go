@@ -76,8 +76,8 @@ func TestDERCapacityConservation(t *testing.T) {
 	// (no task's DER is zero and demand exceeds capacity).
 	for _, j := range []int{4, 6} {
 		var sum float64
-		for _, g := range a.PerSub[j] {
-			sum += g
+		for _, id := range d.Subs[j].Overlapping {
+			sum += a.Grant(id, j)
 		}
 		if math.Abs(sum-8) > 1e-9 {
 			t.Errorf("sub %d grants sum to %g, want full capacity 8", j, sum)
@@ -101,14 +101,15 @@ func TestGrantsNeverExceedLimits(t *testing.T) {
 			a := MustBuild(d, m, method, pl)
 			for j, sub := range d.Subs {
 				var sum float64
-				for id, g := range a.PerSub[j] {
+				for id := range ts {
+					g := a.Grant(id, j)
 					if g < -1e-12 {
 						t.Fatalf("%v: negative grant %g", method, g)
 					}
 					if g > sub.Length()+1e-9 {
 						t.Fatalf("%v: grant %g exceeds subinterval length %g", method, g, sub.Length())
 					}
-					if !d.Eligible(id, j) {
+					if g != 0 && !d.Eligible(id, j) {
 						t.Fatalf("%v: grant to ineligible task %d in sub %d", method, id, j)
 					}
 					sum += g

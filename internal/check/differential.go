@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -185,7 +186,7 @@ func DifferentialOpts(ts task.Set, m int, pm power.Model, o DiffOptions) (*DiffR
 	}
 	for _, e := range entries {
 		res := DiffResult{Name: e.Name}
-		sched, energy, runErr := e.Run(ts, m, pm)
+		sched, energy, runErr := e.Run(context.Background(), ts, m, pm)
 		if runErr != nil {
 			res.Err = runErr
 			rep.Results = append(rep.Results, res)

@@ -1,6 +1,7 @@
 package check
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -16,7 +17,11 @@ import (
 // return their own accounting, not schedule.Energy recomputed after the
 // fact (where the two differ, that difference is exactly what the
 // cross-check exists to catch).
-type Runner func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error)
+//
+// Runners must honor ctx: when the request driving the run is canceled
+// (schedd timeout, client disconnect) the runner should abort promptly
+// and return ctx.Err() rather than solving to completion.
+type Runner func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error)
 
 // Entry is one registered scheduler.
 type Entry struct {

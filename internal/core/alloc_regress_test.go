@@ -1,0 +1,36 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/alloc"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// TestSolverAllocRegression pins the PR-4 hot-path work: a warmed-up
+// Solver must run the full validated DER pipeline on the n=100, m=16
+// acceptance instance within a small allocation ceiling (pre-PR code
+// spent ~11k allocs/op here; the Solver spends ~50, almost all of it
+// the escaping Result).
+func TestSolverAllocRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140901))
+	ts, err := task.Generate(rng, task.PaperDefaults(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.Unit(3, 0.05)
+	sv := NewSolver()
+	if _, err := sv.Schedule(ts, 16, pm, alloc.DER, Options{Tolerance: 1e-9}); err != nil {
+		t.Fatal(err) // warm the scratch arenas
+	}
+	avg := testing.AllocsPerRun(5, func() {
+		if _, err := sv.Schedule(ts, 16, pm, alloc.DER, Options{Tolerance: 1e-9}); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 200 {
+		t.Fatalf("warmed Solver.Schedule(DER, n=100, m=16) allocates %.0f/op, ceiling 200", avg)
+	}
+}

@@ -17,9 +17,15 @@
 // (S^I2/S^F2). Concrete collision-free schedules are realized with
 // Algorithm 1 (package pack) and validated against the feasibility
 // constraints of Section III.C.
+//
+// The hot path is allocation-lean: a Solver holds scratch arenas (slot
+// buffers, pack requests and pieces, per-task frequency tables) that are
+// reused across calls, so a serving loop allocates only what escapes into
+// the returned Result.
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/alloc"
@@ -69,16 +75,48 @@ type Options struct {
 	// SkipValidation disables the internal feasibility check of the
 	// realized schedules (useful only in microbenchmarks).
 	SkipValidation bool
+	// Context, when non-nil, is checked between subinterval passes so a
+	// canceled request aborts the solve instead of running to completion.
+	Context context.Context
 }
+
+// ctxCheckStride bounds how many subintervals are processed between
+// ctx.Err() polls; small enough that cancellation is detected within a
+// fraction of a millisecond even on n=500 instances.
+const ctxCheckStride = 32
+
+// Solver runs the Section V pipeline while reusing scratch buffers across
+// calls. The zero value is ready to use; a Solver must not be used from
+// multiple goroutines at once (give each worker its own).
+type Solver struct {
+	allocB alloc.Builder
+
+	reqs    []pack.Request
+	pieces  []pack.Piece
+	freqOf  []float64
+	useTime []float64
+}
+
+// NewSolver returns an empty Solver. Identical to new(Solver); exists for
+// call-site clarity.
+func NewSolver() *Solver { return &Solver{} }
 
 // Schedule runs the full pipeline of Section V for one allocation method.
 func Schedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts Options) (*Result, error) {
+	var sv Solver
+	return sv.Schedule(ts, m, pm, method, opts)
+}
+
+// Schedule runs the full pipeline of Section V for one allocation method,
+// reusing the solver's scratch arenas.
+func (sv *Solver) Schedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts Options) (*Result, error) {
 	if m <= 0 {
 		return nil, fmt.Errorf("core: need at least one core, have %d", m)
 	}
 	if err := pm.Validate(); err != nil {
 		return nil, err
 	}
+	ctx := opts.Context
 	d, err := interval.Decompose(ts, opts.Tolerance)
 	if err != nil {
 		return nil, err
@@ -87,7 +125,10 @@ func Schedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts Opti
 	if err != nil {
 		return nil, err
 	}
-	al, err := alloc.Build(d, m, method, plan)
+	if ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("core: solve aborted: %w", ctx.Err())
+	}
+	al, err := sv.allocB.Build(d, m, method, plan)
 	if err != nil {
 		return nil, err
 	}
@@ -100,13 +141,16 @@ func Schedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts Opti
 		Ideal:  plan,
 		Alloc:  al,
 	}
-	if err := res.buildIntermediate(); err != nil {
+	if err := sv.buildIntermediate(ctx, res); err != nil {
 		return nil, fmt.Errorf("core: intermediate schedule: %w", err)
 	}
-	if err := res.buildFinal(); err != nil {
+	if err := sv.buildFinal(ctx, res); err != nil {
 		return nil, fmt.Errorf("core: final schedule: %w", err)
 	}
 	if !opts.SkipValidation {
+		if ctx != nil && ctx.Err() != nil {
+			return nil, fmt.Errorf("core: solve aborted: %w", ctx.Err())
+		}
 		if errs := res.Intermediate.Validate(1e-6, true); len(errs) > 0 {
 			return nil, fmt.Errorf("core: intermediate schedule infeasible: %v", errs[0])
 		}
@@ -126,20 +170,36 @@ func MustSchedule(ts task.Set, m int, pm power.Model, method alloc.Method, opts 
 	return r
 }
 
+// grow readies the per-task scratch for n tasks and estimates the segment
+// count of one realized schedule (eligibility pairs plus wrap slack).
+func (sv *Solver) grow(d *interval.Decomposition) int {
+	n := len(d.Tasks)
+	if cap(sv.freqOf) < n {
+		sv.freqOf = make([]float64, n)
+		sv.useTime = make([]float64, n)
+	}
+	segs := 0
+	for j := range d.Subs {
+		segs += d.Subs[j].Count() + 1
+	}
+	return segs
+}
+
 // buildIntermediate realizes S^I: in every subinterval each overlapping
 // task executes min(ideal time, grant); if the grant is tighter than the
 // ideal execution the frequency is raised to complete the same work
 // (Sections V.B.1 and V.C.1).
-func (r *Result) buildIntermediate() error {
+func (sv *Solver) buildIntermediate(ctx context.Context, r *Result) error {
 	sched := schedule.New(r.Tasks, r.Cores)
+	sched.Grow(sv.grow(r.Decomp))
+	freqOf := sv.freqOf[:len(r.Tasks)]
 	var energy numeric.KahanSum
-	for j, sub := range r.Decomp.Subs {
-		type slot struct {
-			id   int
-			time float64
-			freq float64
+	for j := range r.Decomp.Subs {
+		if ctx != nil && j%ctxCheckStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
 		}
-		var slots []slot
+		sub := &r.Decomp.Subs[j]
+		sv.reqs = sv.reqs[:0]
 		for _, id := range sub.Overlapping {
 			idealTime := r.Ideal.ExecWithin(id, sub.Start, sub.End)
 			if idealTime <= 0 {
@@ -157,21 +217,15 @@ func (r *Result) buildIntermediate() error {
 				f = idealTime * f / grant
 				t = grant
 			}
-			slots = append(slots, slot{id: id, time: t, freq: f})
+			sv.reqs = append(sv.reqs, pack.Request{Task: id, Time: t})
+			freqOf[id] = f
 			energy.Add(r.Model.EnergyForTime(t, f))
 		}
-		reqs := make([]pack.Request, len(slots))
-		for k, s := range slots {
-			reqs[k] = pack.Request{Task: s.id, Time: s.time}
-		}
-		pieces, err := pack.Interval(sub.Start, sub.End, r.Cores, reqs)
+		pieces, err := pack.AppendInterval(sv.pieces[:0], sub.Start, sub.End, r.Cores, sv.reqs)
 		if err != nil {
 			return fmt.Errorf("subinterval %d: %w", j, err)
 		}
-		freqOf := make(map[int]float64, len(slots))
-		for _, s := range slots {
-			freqOf[s.id] = s.freq
-		}
+		sv.pieces = pieces[:0]
 		for _, p := range pieces {
 			sched.Add(schedule.Segment{
 				Task: p.Task, Core: p.Core,
@@ -189,26 +243,33 @@ func (r *Result) buildIntermediate() error {
 // f_i = max(f*, C_i/A_i), using C_i/f_i ≤ A_i total time, distributed
 // over subintervals proportionally to the grants (which preserves both
 // per-subinterval caps, so Algorithm 1 applies).
-func (r *Result) buildFinal() error {
+func (sv *Solver) buildFinal(ctx context.Context, r *Result) error {
 	n := len(r.Tasks)
 	r.FinalFrequencies = make([]float64, n)
 	r.AvailableTime = make([]float64, n)
-	useTime := make([]float64, n)
+	useTime := sv.useTime[:n]
+	fstar := r.Model.CriticalFrequency()
 	var energy numeric.KahanSum
-	for i, tk := range r.Tasks {
+	for i := range r.Tasks {
+		tk := &r.Tasks[i]
 		a := r.Alloc.Total[i]
 		if a <= 0 {
 			return fmt.Errorf("task %d has no available execution time", i)
 		}
-		f := r.Model.BestFrequency(tk.Work, a)
+		f := r.Model.BestFrequencyAt(fstar, tk.Work, a)
 		r.FinalFrequencies[i] = f
 		r.AvailableTime[i] = a
 		useTime[i] = tk.Work / f
 		energy.Add(r.Model.Energy(tk.Work, f))
 	}
 	sched := schedule.New(r.Tasks, r.Cores)
-	for j, sub := range r.Decomp.Subs {
-		var reqs []pack.Request
+	sched.Grow(sv.grow(r.Decomp))
+	for j := range r.Decomp.Subs {
+		if ctx != nil && j%ctxCheckStride == 0 && ctx.Err() != nil {
+			return ctx.Err()
+		}
+		sub := &r.Decomp.Subs[j]
+		sv.reqs = sv.reqs[:0]
 		for _, id := range sub.Overlapping {
 			grant := r.Alloc.Grant(id, j)
 			if grant <= 0 {
@@ -218,12 +279,13 @@ func (r *Result) buildFinal() error {
 			if t <= 0 {
 				continue
 			}
-			reqs = append(reqs, pack.Request{Task: id, Time: t})
+			sv.reqs = append(sv.reqs, pack.Request{Task: id, Time: t})
 		}
-		pieces, err := pack.Interval(sub.Start, sub.End, r.Cores, reqs)
+		pieces, err := pack.AppendInterval(sv.pieces[:0], sub.Start, sub.End, r.Cores, sv.reqs)
 		if err != nil {
 			return fmt.Errorf("subinterval %d: %w", j, err)
 		}
+		sv.pieces = pieces[:0]
 		for _, p := range pieces {
 			sched.Add(schedule.Segment{
 				Task: p.Task, Core: p.Core,

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/alloc"
 	"repro/internal/check"
 	"repro/internal/power"
@@ -13,8 +15,8 @@ import (
 // audited by check.Differential automatically.
 func init() {
 	run := func(method alloc.Method, final bool) check.Runner {
-		return func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
-			res, err := Schedule(ts, m, pm, method, Options{Tolerance: 1e-9})
+		return func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			res, err := Schedule(ts, m, pm, method, Options{Tolerance: 1e-9, Context: ctx})
 			if err != nil {
 				return nil, 0, err
 			}

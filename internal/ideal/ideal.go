@@ -54,8 +54,9 @@ func Build(ts task.Set, m power.Model) (*Plan, error) {
 	}
 	p := &Plan{Model: m, Tasks: make([]TaskPlan, len(ts))}
 	var total numeric.KahanSum
+	fstar := m.CriticalFrequency()
 	for i, tk := range ts {
-		f := m.BestFrequency(tk.Work, tk.Window())
+		f := m.BestFrequencyAt(fstar, tk.Work, tk.Window())
 		e := m.Energy(tk.Work, f)
 		p.Tasks[i] = TaskPlan{
 			Task:      tk,

@@ -52,11 +52,15 @@ type Decomposition struct {
 	// Subs are the N−1 subintervals in time order.
 	Subs []Subinterval
 
-	// eligible[i][j] reports whether subinterval j lies inside task i's
-	// window — the x_{i,j} ≠ 0 pattern of Eq. (13).
-	eligible [][]bool
-	// subsOf[i] lists the eligible subinterval indices of task i.
-	subsOf [][]int
+	// first[i] and last[i] bound task i's eligible subintervals — the
+	// x_{i,j} ≠ 0 pattern of Eq. (13). A task window covers a contiguous
+	// ascending run of subintervals (releases cut on the left, deadlines
+	// on the right), so the pattern is fully described by its endpoints;
+	// first[i] > last[i] encodes an empty run.
+	first, last []int
+	// seq is the shared index sequence 0..N−2; SubsOf returns subslices
+	// of it so no per-task index slices are allocated.
+	seq []int
 }
 
 // Decompose builds the decomposition. Boundary values closer than tol are
@@ -70,30 +74,50 @@ func Decompose(ts task.Set, tol float64) (*Decomposition, error) {
 	if len(pts) < 2 {
 		return nil, fmt.Errorf("interval: degenerate decomposition with %d points", len(pts))
 	}
+	nsubs := len(pts) - 1
 	d := &Decomposition{
-		Tasks:    ts,
-		Points:   pts,
-		Subs:     make([]Subinterval, len(pts)-1),
-		eligible: make([][]bool, len(ts)),
-		subsOf:   make([][]int, len(ts)),
+		Tasks:  ts,
+		Points: pts,
+		Subs:   make([]Subinterval, nsubs),
+		first:  make([]int, len(ts)),
+		last:   make([]int, len(ts)),
+		seq:    make([]int, nsubs),
 	}
-	for i := range d.eligible {
-		d.eligible[i] = make([]bool, len(pts)-1)
+	for j := range d.seq {
+		d.seq[j] = j
+		d.Subs[j] = Subinterval{Index: j, Start: pts[j], End: pts[j+1]}
 	}
-	for j := 0; j < len(pts)-1; j++ {
-		sub := Subinterval{Index: j, Start: pts[j], End: pts[j+1]}
-		for _, t := range ts {
-			// With merged boundaries a task window may start/end strictly
-			// inside a subinterval only by less than tol; treat the task
-			// as overlapping when its window covers the midpoint-snapped
-			// boundaries.
-			if t.Release <= sub.Start+tol && sub.End-tol <= t.Deadline {
-				sub.Overlapping = append(sub.Overlapping, t.ID)
-				d.eligible[t.ID][j] = true
-				d.subsOf[t.ID] = append(d.subsOf[t.ID], j)
-			}
+	// With merged boundaries a task window may start/end strictly inside
+	// a subinterval only by less than tol; treat the task as overlapping
+	// when its window covers the midpoint-snapped boundaries. The two
+	// conditions are monotone in j (starts and ends both ascend), so the
+	// eligible run is [first, last] with the endpoints found by binary
+	// search over the boundary arrays.
+	counts := make([]int, nsubs)
+	total := 0
+	for i, t := range ts {
+		// first: smallest j with Release ≤ Start_j + tol.
+		lo := sort.Search(nsubs, func(j int) bool { return t.Release <= d.Subs[j].Start+tol })
+		// last: largest j with End_j − tol ≤ Deadline.
+		hi := sort.Search(nsubs, func(j int) bool { return d.Subs[j].End-tol > t.Deadline }) - 1
+		d.first[i], d.last[i] = lo, hi
+		for j := lo; j <= hi; j++ {
+			counts[j]++
+			total++
 		}
-		d.Subs[j] = sub
+	}
+	// Carve every subinterval's Overlapping list (ascending task IDs, as
+	// tasks are visited in ID order) out of one shared backing array.
+	backing := make([]int, total)
+	off := 0
+	for j := 0; j < nsubs; j++ {
+		d.Subs[j].Overlapping = backing[off : off : off+counts[j]]
+		off += counts[j]
+	}
+	for i := range ts {
+		for j := d.first[i]; j <= d.last[i]; j++ {
+			d.Subs[j].Overlapping = append(d.Subs[j].Overlapping, ts[i].ID)
+		}
 	}
 	return d, nil
 }
@@ -111,11 +135,22 @@ func MustDecompose(ts task.Set, tol float64) *Decomposition {
 func (d *Decomposition) NumSubs() int { return len(d.Subs) }
 
 // Eligible reports whether task i may execute during subinterval j.
-func (d *Decomposition) Eligible(i, j int) bool { return d.eligible[i][j] }
+func (d *Decomposition) Eligible(i, j int) bool { return d.first[i] <= j && j <= d.last[i] }
 
 // SubsOf returns the indices of the subintervals inside task i's window,
 // in time order. The returned slice must not be modified.
-func (d *Decomposition) SubsOf(i int) []int { return d.subsOf[i] }
+func (d *Decomposition) SubsOf(i int) []int {
+	if d.first[i] > d.last[i] {
+		return nil
+	}
+	return d.seq[d.first[i] : d.last[i]+1]
+}
+
+// FirstSub returns the index of the first subinterval inside task i's
+// window (the offset of SubsOf(i) within 0..NumSubs−1). Solvers that lay
+// per-task per-subinterval quantities out densely use it to translate a
+// global subinterval index j into the task-local position j − FirstSub(i).
+func (d *Decomposition) FirstSub(i int) int { return d.first[i] }
 
 // Heavy returns the indices of the heavily overlapped subintervals for m
 // cores (n_j > m), in time order.

@@ -1,6 +1,8 @@
 package online
 
 import (
+	"context"
+
 	"repro/internal/check"
 	"repro/internal/power"
 	"repro/internal/schedule"
@@ -14,7 +16,10 @@ import (
 func init() {
 	check.Register(check.Entry{
 		Name: "ReplanDER",
-		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+		Run: func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			r, err := ReplanDER(ts, m, pm)
 			if err != nil {
 				return nil, 0, err

@@ -1,0 +1,38 @@
+package opt
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/interval"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// TestSolveAllocRegression pins the PR-4 hot-path work on the convex
+// solver: the Frank-Wolfe loop must not allocate per iteration (pre-PR
+// code spent ~129k allocs on the n=100, m=16 solve via sort.Slice and
+// per-subinterval maps; now the whole solve stays under a few dozen).
+func TestSolveAllocRegression(t *testing.T) {
+	rng := rand.New(rand.NewSource(20140901))
+	ts, err := task.Generate(rng, task.PaperDefaults(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := interval.Decompose(ts, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := power.Unit(3, 0.05)
+	// A short iteration budget keeps the test fast; the per-iteration
+	// allocation behavior is identical to a converged solve.
+	opts := Options{MaxIterations: 50, RelGap: 1e-12}
+	avg := testing.AllocsPerRun(3, func() {
+		if _, err := Solve(d, 16, pm, opts); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg > 100 {
+		t.Fatalf("opt.Solve(n=100, m=16, 50 iter) allocates %.0f/op, ceiling 100", avg)
+	}
+}

@@ -24,6 +24,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -42,6 +43,9 @@ type Options struct {
 	// LineSearchTol is the θ-tolerance of the exact line search
 	// (default 1e-12).
 	LineSearchTol float64
+	// Context, when non-nil, is checked every iteration so a canceled
+	// request aborts the solve instead of running to convergence.
+	Context context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -77,13 +81,30 @@ type problem struct {
 	d     *interval.Decomposition
 	m     int
 	model power.Model
+	// fstar is the model's critical frequency, hoisted so per-evaluation
+	// psi calls skip the f* power computation.
+	fstar float64
 	// abar[i] = C_i/f*: granted time beyond this is never used.
 	abar []float64
 	work []float64
-	// cand is per-problem scratch for the oracle's candidate selection,
-	// so concurrent Solve calls never share state.
-	cand []int
+	// cand and gsort are per-problem scratch for the oracle's candidate
+	// selection, so concurrent Solve calls never share state and the
+	// per-subinterval sort allocates nothing.
+	cand  []int
+	gsort gradSorter
 }
+
+// gradSorter orders candidate task IDs by ascending gradient through a
+// pointer-based sort.Interface, avoiding the per-call closure and
+// reflection swaps of sort.Slice in the oracle's inner loop.
+type gradSorter struct {
+	ids  []int
+	grad []float64
+}
+
+func (g *gradSorter) Len() int           { return len(g.ids) }
+func (g *gradSorter) Less(a, b int) bool { return g.grad[g.ids[a]] < g.grad[g.ids[b]] }
+func (g *gradSorter) Swap(a, b int)      { g.ids[a], g.ids[b] = g.ids[b], g.ids[a] }
 
 // Solve minimizes the reformulated program for the given decomposition,
 // core count, and power model.
@@ -97,11 +118,11 @@ func Solve(d *interval.Decomposition, m int, pm power.Model, opts Options) (*Sol
 	opts = opts.withDefaults()
 	n := len(d.Tasks)
 	p := &problem{d: d, m: m, model: pm, abar: make([]float64, n), work: make([]float64, n)}
-	fstar := pm.CriticalFrequency()
+	p.fstar = pm.CriticalFrequency()
 	for i, tk := range d.Tasks {
 		p.work[i] = tk.Work
-		if fstar > 0 {
-			p.abar[i] = tk.Work / fstar
+		if p.fstar > 0 {
+			p.abar[i] = tk.Work / p.fstar
 		} else {
 			p.abar[i] = math.Inf(1)
 		}
@@ -116,6 +137,9 @@ func Solve(d *interval.Decomposition, m int, pm power.Model, opts Options) (*Sol
 	var gap float64
 	var it int
 	for it = 0; it < opts.MaxIterations; it++ {
+		if opts.Context != nil && opts.Context.Err() != nil {
+			return nil, fmt.Errorf("opt: solve aborted: %w", opts.Context.Err())
+		}
 		p.gradient(ax, grad)
 		p.oracle(grad, s, as)
 		gap = 0
@@ -157,15 +181,12 @@ func MustSolve(d *interval.Decomposition, m int, pm power.Model, opts Options) *
 
 // feasibleStart grants each eligible task min(ℓ_j, m·ℓ_j/n_j) in every
 // subinterval — the even allocation, which is interior enough to keep all
-// gradients finite.
+// gradients finite. Rows are carved from one flat backing array.
 func (p *problem) feasibleStart() [][]float64 {
-	n := len(p.d.Tasks)
-	x := make([][]float64, n)
-	for i := 0; i < n; i++ {
-		subs := p.d.SubsOf(i)
-		x[i] = make([]float64, len(subs))
-		for k, j := range subs {
-			sub := p.d.Subs[j]
+	x := newAllocLike2(p.d)
+	for i := range x {
+		for k, j := range p.d.SubsOf(i) {
+			sub := &p.d.Subs[j]
 			share := float64(p.m) * sub.Length() / float64(sub.Count())
 			if share > sub.Length() {
 				share = sub.Length()
@@ -177,11 +198,37 @@ func (p *problem) feasibleStart() [][]float64 {
 }
 
 func newAllocLike(x [][]float64) [][]float64 {
-	s := make([][]float64, len(x))
+	total := 0
 	for i := range x {
-		s[i] = make([]float64, len(x[i]))
+		total += len(x[i])
+	}
+	backing := make([]float64, total)
+	s := make([][]float64, len(x))
+	off := 0
+	for i := range x {
+		s[i] = backing[off : off+len(x[i])]
+		off += len(x[i])
 	}
 	return s
+}
+
+// newAllocLike2 builds a zeroed x-shaped matrix from the decomposition's
+// eligibility pattern, carved from one flat backing array.
+func newAllocLike2(d *interval.Decomposition) [][]float64 {
+	n := len(d.Tasks)
+	total := 0
+	for i := 0; i < n; i++ {
+		total += len(d.SubsOf(i))
+	}
+	backing := make([]float64, total)
+	x := make([][]float64, n)
+	off := 0
+	for i := 0; i < n; i++ {
+		w := len(d.SubsOf(i))
+		x[i] = backing[off : off+w]
+		off += w
+	}
+	return x
 }
 
 // totals computes A from x.
@@ -207,7 +254,7 @@ func (p *problem) psi(i int, avail float64) float64 {
 	if avail <= 0 {
 		return math.Inf(1)
 	}
-	return p.model.TaskEnergy(p.work[i], avail)
+	return p.model.TaskEnergyAt(p.fstar, p.work[i], avail)
 }
 
 // dpsi is ψ'_i(A): zero beyond the kink Ā_i, else
@@ -220,21 +267,7 @@ func (p *problem) dpsi(i int, a float64) float64 {
 		return math.Inf(-1)
 	}
 	m := p.model
-	return m.P0 - (m.Alpha-1)*m.Gamma*powFast(p.work[i]/a, m.Alpha)
-}
-
-// powFast is math.Pow specialized for the exponents the evaluation
-// sweeps use most (α = 2 and α = 3); the line search calls it millions
-// of times per solve, making the specialization a ~2x end-to-end win.
-func powFast(x, alpha float64) float64 {
-	switch alpha {
-	case 2:
-		return x * x
-	case 3:
-		return x * x * x
-	default:
-		return math.Pow(x, alpha)
-	}
+	return m.P0 - (m.Alpha-1)*m.Gamma*power.FastPow(p.work[i]/a, m.Alpha)
 }
 
 func (p *problem) gradient(a []float64, grad []float64) {
@@ -275,13 +308,14 @@ func (p *problem) oracle(grad []float64, s [][]float64, as []float64) {
 			continue
 		}
 		if len(cand) > p.m {
-			sort.Slice(cand, func(a, b int) bool { return grad[cand[a]] < grad[cand[b]] })
+			p.gsort.ids, p.gsort.grad = cand, grad
+			sort.Sort(&p.gsort)
 			cand = cand[:p.m]
 		}
+		length := sub.Length()
 		for _, id := range cand {
-			first := p.d.SubsOf(id)[0]
-			s[id][j-first] = sub.Length()
-			as[id] += sub.Length()
+			s[id][j-p.d.FirstSub(id)] = length
+			as[id] += length
 		}
 		p.cand = cand[:0]
 	}

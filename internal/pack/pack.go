@@ -40,28 +40,35 @@ type Request struct {
 // Preconditions (validated): each request's time lies in [0, end−start],
 // and Σ times ≤ m·(end−start). Zero-time requests produce no pieces.
 func Interval(start, end float64, m int, reqs []Request) ([]Piece, error) {
+	return AppendInterval(nil, start, end, m, reqs)
+}
+
+// AppendInterval is Interval appending into dst, so a caller packing many
+// subintervals in a row can reuse one buffer instead of allocating pieces
+// per subinterval. On error the returned slice is dst unchanged.
+func AppendInterval(dst []Piece, start, end float64, m int, reqs []Request) ([]Piece, error) {
 	length := end - start
 	if length <= 0 {
-		return nil, fmt.Errorf("pack: empty subinterval [%g, %g]", start, end)
+		return dst, fmt.Errorf("pack: empty subinterval [%g, %g]", start, end)
 	}
 	if m <= 0 {
-		return nil, fmt.Errorf("pack: need at least one core, have %d", m)
+		return dst, fmt.Errorf("pack: need at least one core, have %d", m)
 	}
 	var total numeric.KahanSum
 	for _, r := range reqs {
 		if r.Time < 0 {
-			return nil, fmt.Errorf("pack: task %d has negative time %g", r.Task, r.Time)
+			return dst, fmt.Errorf("pack: task %d has negative time %g", r.Task, r.Time)
 		}
 		if r.Time > length*(1+1e-9) {
-			return nil, fmt.Errorf("pack: task %d time %g exceeds subinterval length %g", r.Task, r.Time, length)
+			return dst, fmt.Errorf("pack: task %d time %g exceeds subinterval length %g", r.Task, r.Time, length)
 		}
 		total.Add(r.Time)
 	}
 	if total.Value() > float64(m)*length*(1+1e-9) {
-		return nil, fmt.Errorf("pack: total time %g exceeds capacity %g", total.Value(), float64(m)*length)
+		return dst, fmt.Errorf("pack: total time %g exceeds capacity %g", total.Value(), float64(m)*length)
 	}
 
-	var pieces []Piece
+	pieces := dst
 	core := 0
 	// cursor is the next free time on the current core, relative to start.
 	cursor := 0.0
@@ -91,7 +98,7 @@ func Interval(start, end float64, m int, reqs []Request) ([]Piece, error) {
 			emit(r.Task, cursor, length)
 			core++
 			if core >= m {
-				return nil, fmt.Errorf("pack: ran out of cores packing task %d (capacity check raced tolerance)", r.Task)
+				return dst, fmt.Errorf("pack: ran out of cores packing task %d (capacity check raced tolerance)", r.Task)
 			}
 			cursor = 0
 			emit(r.Task, 0, head)

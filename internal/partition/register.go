@@ -1,6 +1,8 @@
 package partition
 
 import (
+	"context"
+
 	"repro/internal/check"
 	"repro/internal/power"
 	"repro/internal/schedule"
@@ -12,7 +14,10 @@ import (
 func init() {
 	check.Register(check.Entry{
 		Name: "Partitioned",
-		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+		Run: func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			sched, energy, err := Schedule(ts, m, pm)
 			if err != nil {
 				return nil, 0, err

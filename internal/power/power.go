@@ -27,6 +27,30 @@ type Model struct {
 // Unit returns the canonical unit-coefficient model p(f) = f^alpha + p0.
 func Unit(alpha, p0 float64) Model { return Model{Gamma: 1, Alpha: alpha, P0: p0} }
 
+// FastPow returns x^alpha, specialized for the small integer and
+// half-integer exponents the evaluation sweeps use (α ∈ {2, 2.5, 3, 4}
+// and their α−1 companions). The solver hot paths evaluate f^α millions
+// of times per instance; skipping math.Pow's generic path is a measurable
+// end-to-end win.
+func FastPow(x, alpha float64) float64 {
+	switch alpha {
+	case 1:
+		return x
+	case 1.5:
+		return x * math.Sqrt(x)
+	case 2:
+		return x * x
+	case 2.5:
+		return x * x * math.Sqrt(x)
+	case 3:
+		return x * x * x
+	case 4:
+		xx := x * x
+		return xx * xx
+	}
+	return math.Pow(x, alpha)
+}
+
 // Validate reports whether the model is physically meaningful and within
 // the paper's assumptions (α ≥ 2 guarantees convexity of the energy
 // objective, Theorem 1).
@@ -52,7 +76,7 @@ func (m Model) Power(f float64) float64 {
 		// A core at frequency zero is asleep (Section III.B).
 		return 0
 	}
-	return m.Gamma*math.Pow(f, m.Alpha) + m.P0
+	return m.Gamma*FastPow(f, m.Alpha) + m.P0
 }
 
 // EnergyRate returns the energy consumed per unit of *work* at frequency
@@ -61,7 +85,7 @@ func (m Model) EnergyRate(f float64) float64 {
 	if f <= 0 {
 		panic("power: EnergyRate needs f > 0")
 	}
-	return m.Gamma*math.Pow(f, m.Alpha-1) + m.P0/f
+	return m.Gamma*FastPow(f, m.Alpha-1) + m.P0/f
 }
 
 // Energy returns the energy of executing work w at constant frequency f.
@@ -97,19 +121,31 @@ func (m Model) CriticalFrequency() float64 {
 // w and available execution time avail: max(f*, w/avail). This is the
 // closed-form solution of the per-task problem (22)-(23).
 func (m Model) BestFrequency(w, avail float64) float64 {
+	return m.BestFrequencyAt(m.CriticalFrequency(), w, avail)
+}
+
+// BestFrequencyAt is BestFrequency with the critical frequency f* already
+// computed; solver loops that call it once per task hoist the f* power
+// evaluation out of the loop this way.
+func (m Model) BestFrequencyAt(fstar, w, avail float64) float64 {
 	if w <= 0 {
 		panic("power: BestFrequency needs positive work")
 	}
 	if avail <= 0 {
 		panic("power: BestFrequency needs positive available time")
 	}
-	return math.Max(m.CriticalFrequency(), w/avail)
+	return math.Max(fstar, w/avail)
 }
 
 // TaskEnergy returns the minimal energy for a task with work w given
 // available time avail, i.e. Energy(w, BestFrequency(w, avail)).
 func (m Model) TaskEnergy(w, avail float64) float64 {
 	return m.Energy(w, m.BestFrequency(w, avail))
+}
+
+// TaskEnergyAt is TaskEnergy with f* precomputed (see BestFrequencyAt).
+func (m Model) TaskEnergyAt(fstar, w, avail float64) float64 {
+	return m.Energy(w, m.BestFrequencyAt(fstar, w, avail))
 }
 
 func (m Model) String() string {

@@ -8,6 +8,7 @@ package schedule
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"repro/internal/numeric"
@@ -57,31 +58,108 @@ func (s *Schedule) Add(seg Segment) {
 	s.Segments = append(s.Segments, seg)
 }
 
+// Grow pre-sizes the segment buffer for at least n more Add calls, so
+// builders that know the segment count up front avoid append regrowth.
+func (s *Schedule) Grow(n int) {
+	s.Segments = slices.Grow(s.Segments, n)
+}
+
+func cmpSegment(a, b Segment) int {
+	if a.Core != b.Core {
+		if a.Core < b.Core {
+			return -1
+		}
+		return 1
+	}
+	if a.Start != b.Start {
+		if a.Start < b.Start {
+			return -1
+		}
+		return 1
+	}
+	return a.Task - b.Task
+}
+
 // sortSegments orders segments by (core, start, task) for validation and
-// rendering.
+// rendering. Builders emit segments in ascending time order per core, so
+// the common case is two linear passes: bucket by core, then a
+// nearly-sorted (often no-op) sort within each bucket.
 func (s *Schedule) sortSegments() []Segment {
 	segs := make([]Segment, len(s.Segments))
-	copy(segs, s.Segments)
-	sort.Slice(segs, func(i, j int) bool {
-		if segs[i].Core != segs[j].Core {
-			return segs[i].Core < segs[j].Core
+	if s.Cores <= 0 {
+		copy(segs, s.Segments)
+		slices.SortFunc(segs, cmpSegment)
+		return segs
+	}
+	counts := make([]int, s.Cores)
+	for _, seg := range s.Segments {
+		if seg.Core < 0 || seg.Core >= s.Cores {
+			// Malformed schedule (fuzzing, hand-built): fall back to the
+			// plain global sort.
+			copy(segs, s.Segments)
+			slices.SortFunc(segs, cmpSegment)
+			return segs
 		}
-		if segs[i].Start != segs[j].Start {
-			return segs[i].Start < segs[j].Start
+		counts[seg.Core]++
+	}
+	offs := make([]int, s.Cores)
+	off := 0
+	for c, n := range counts {
+		offs[c] = off
+		off += n
+	}
+	for _, seg := range s.Segments {
+		segs[offs[seg.Core]] = seg
+		offs[seg.Core]++
+	}
+	off = 0
+	for _, n := range counts {
+		bucket := segs[off : off+n]
+		if !slices.IsSortedFunc(bucket, cmpSegment) {
+			slices.SortFunc(bucket, cmpSegment)
 		}
-		return segs[i].Task < segs[j].Task
-	})
+		off += n
+	}
 	return segs
 }
 
-// byTask groups segment indices by task ID.
-func (s *Schedule) byTask() map[int][]Segment {
-	out := make(map[int][]Segment, len(s.Tasks))
+// byTask groups each task's segments in start order. Task IDs are dense
+// (0..n-1), so the grouping is two counting passes over one shared
+// backing array rather than a map of growing slices.
+func (s *Schedule) byTask() [][]Segment {
+	n := len(s.Tasks)
+	out := make([][]Segment, n)
+	counts := make([]int, n)
+	stray := 0
 	for _, seg := range s.Segments {
+		if seg.Task < 0 || seg.Task >= n {
+			stray++
+			continue
+		}
+		counts[seg.Task]++
+	}
+	backing := make([]Segment, len(s.Segments)-stray)
+	off := 0
+	for id := 0; id < n; id++ {
+		out[id] = backing[off : off : off+counts[id]]
+		off += counts[id]
+	}
+	for _, seg := range s.Segments {
+		if seg.Task < 0 || seg.Task >= n {
+			continue
+		}
 		out[seg.Task] = append(out[seg.Task], seg)
 	}
 	for _, segs := range out {
-		sort.Slice(segs, func(i, j int) bool { return segs[i].Start < segs[j].Start })
+		slices.SortFunc(segs, func(a, b Segment) int {
+			if a.Start < b.Start {
+				return -1
+			}
+			if a.Start > b.Start {
+				return 1
+			}
+			return 0
+		})
 	}
 	return out
 }
@@ -89,17 +167,15 @@ func (s *Schedule) byTask() map[int][]Segment {
 // CompletedWork returns the total work executed for each task ID.
 func (s *Schedule) CompletedWork() map[int]float64 {
 	out := make(map[int]float64, len(s.Tasks))
-	sums := make(map[int]*numeric.KahanSum, len(s.Tasks))
+	sums := make([]numeric.KahanSum, len(s.Tasks))
 	for _, seg := range s.Segments {
-		k, ok := sums[seg.Task]
-		if !ok {
-			k = &numeric.KahanSum{}
-			sums[seg.Task] = k
+		if seg.Task < 0 || seg.Task >= len(sums) {
+			continue
 		}
-		k.Add(seg.Work())
+		sums[seg.Task].Add(seg.Work())
 	}
-	for id, k := range sums {
-		out[id] = k.Value()
+	for id := range sums {
+		out[id] = sums[id].Value()
 	}
 	return out
 }

@@ -6,99 +6,38 @@ import (
 	"io"
 	"net/http"
 
-	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/server/wire"
 	"repro/internal/task"
 )
 
-// ModelJSON is the wire form of the continuous power model
-// p(f) = gamma·f^alpha + p0. A zero gamma defaults to 1 (the paper's
-// unit-coefficient convention) so clients can write {"alpha":3,"p0":0.05}.
-type ModelJSON struct {
-	Gamma float64 `json:"gamma,omitempty"`
-	Alpha float64 `json:"alpha"`
-	P0    float64 `json:"p0"`
-}
-
-// Model converts to the validated internal power model.
-func (m ModelJSON) Model() (power.Model, error) {
-	pm := power.Model{Gamma: m.Gamma, Alpha: m.Alpha, P0: m.P0}
-	if pm.Gamma == 0 {
-		pm.Gamma = 1
-	}
-	if err := pm.Validate(); err != nil {
-		return power.Model{}, err
-	}
-	return pm, nil
-}
-
-// ScheduleRequest is the body of POST /v1/schedule. Tasks use the same
-// {release, work, deadline} representation as the task JSON codec; IDs
-// are positional.
-type ScheduleRequest struct {
-	// Algorithm names a registered scheduler (GET /v1/algorithms).
-	Algorithm string `json:"algorithm"`
-	// Cores is the core count m ≥ 1.
-	Cores int `json:"cores"`
-	// Model is the continuous power model.
-	Model ModelJSON `json:"model"`
-	// Tasks is the aperiodic workload.
-	Tasks task.Set `json:"tasks"`
-}
-
-// SegmentJSON is one contiguous execution of a task on a core.
-type SegmentJSON struct {
-	Task      int     `json:"task"`
-	Core      int     `json:"core"`
-	Start     float64 `json:"start"`
-	End       float64 `json:"end"`
-	Frequency float64 `json:"frequency"`
-}
-
-// ScheduleResponse is the body of a successful POST /v1/schedule.
-type ScheduleResponse struct {
-	Algorithm string  `json:"algorithm"`
-	Cores     int     `json:"cores"`
-	// Energy is the scheduler-reported energy of the realized schedule.
-	Energy float64 `json:"energy"`
-	// BusyTime and Makespan summarize the schedule shape.
-	BusyTime float64 `json:"busy_time"`
-	Makespan float64 `json:"makespan"`
-	// Verified reports whether the in-band easched.Verify guardrail ran
-	// and found no contract violations.
-	Verified bool `json:"verified"`
-	// Cached is true when the response was served from the solve cache.
-	Cached   bool          `json:"cached"`
-	Segments []SegmentJSON `json:"segments"`
-	// ElapsedMS is the server-side solve (or cache-lookup) time.
-	ElapsedMS float64 `json:"elapsed_ms"`
-}
-
-// FeasibleRequest is the body of POST /v1/feasible. Speed is the uniform
-// frequency ceiling f̂; zero defaults to 1, the paper's normalized f_max.
-type FeasibleRequest struct {
-	Cores int      `json:"cores"`
-	Speed float64  `json:"speed,omitempty"`
-	Tasks task.Set `json:"tasks"`
-}
-
-// FeasibleResponse reports the max-flow feasibility verdict and the
-// minimal feasible uniform speed found by bisection.
-type FeasibleResponse struct {
-	Feasible bool    `json:"feasible"`
-	Speed    float64 `json:"speed"`
-	MinSpeed float64 `json:"min_speed"`
-}
-
-// AlgorithmsResponse is the body of GET /v1/algorithms.
-type AlgorithmsResponse struct {
-	Algorithms []string `json:"algorithms"`
-}
-
-// ErrorResponse is the body of every non-2xx JSON response.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
+// The JSON request/response types live in internal/server/wire so that
+// clients (cmd/schedload, cmd/schedbench) share one definition with the
+// server; the aliases below keep the server package's existing surface.
+type (
+	// ModelJSON is the wire form of the continuous power model.
+	ModelJSON = wire.ModelJSON
+	// ScheduleRequest is the body of POST /v1/schedule.
+	ScheduleRequest = wire.ScheduleRequest
+	// SegmentJSON is one contiguous execution of a task on a core.
+	SegmentJSON = wire.SegmentJSON
+	// ScheduleResponse is the body of a successful POST /v1/schedule.
+	ScheduleResponse = wire.ScheduleResponse
+	// BatchRequest is the body of POST /v1/schedule/batch.
+	BatchRequest = wire.BatchRequest
+	// BatchItem is one outcome within a BatchResponse.
+	BatchItem = wire.BatchItem
+	// BatchResponse is the body of POST /v1/schedule/batch.
+	BatchResponse = wire.BatchResponse
+	// FeasibleRequest is the body of POST /v1/feasible.
+	FeasibleRequest = wire.FeasibleRequest
+	// FeasibleResponse reports the max-flow feasibility verdict.
+	FeasibleResponse = wire.FeasibleResponse
+	// AlgorithmsResponse is the body of GET /v1/algorithms.
+	AlgorithmsResponse = wire.AlgorithmsResponse
+	// ErrorResponse is the body of every non-2xx JSON response.
+	ErrorResponse = wire.ErrorResponse
+)
 
 // maxBodyBytes bounds request bodies so a single client cannot exhaust
 // memory; generously sized for tens of thousands of tasks.
@@ -137,12 +76,5 @@ func validateInstance(ts task.Set, cores, maxTasks int) error {
 
 // segmentsJSON converts schedule segments to the wire form.
 func segmentsJSON(s *schedule.Schedule) []SegmentJSON {
-	out := make([]SegmentJSON, len(s.Segments))
-	for i, seg := range s.Segments {
-		out[i] = SegmentJSON{
-			Task: seg.Task, Core: seg.Core,
-			Start: seg.Start, End: seg.End, Frequency: seg.Frequency,
-		}
-	}
-	return out
+	return wire.Segments(s)
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/check"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/interval"
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/server/wire"
 	"repro/internal/task"
 	"repro/internal/trace"
 )
@@ -42,11 +44,11 @@ type solveResult struct {
 	err    error
 }
 
-// runSolve executes a registered scheduler under ctx. The solver itself
-// is synchronous, so cancellation abandons the goroutine: the result is
-// discarded when it eventually finishes, and the worker slot is held
-// until then — which is exactly what keeps a flood of canceled requests
-// from oversubscribing the CPU.
+// runSolve executes a registered scheduler under ctx. Runners observe
+// ctx and abort between solver passes, so a canceled request frees its
+// worker slot promptly instead of holding it until convergence; the
+// select below additionally unblocks the handler immediately, and the
+// slot is released only when the solver goroutine actually returns.
 func runSolve(ctx context.Context, e check.Entry, ts task.Set, m int, pm power.Model, done func()) solveResult {
 	ch := make(chan solveResult, 1)
 	go func() {
@@ -56,7 +58,7 @@ func runSolve(ctx context.Context, e check.Entry, ts task.Set, m int, pm power.M
 				ch <- solveResult{err: fmt.Errorf("solver panic: %v", r)}
 			}
 		}()
-		s, energy, err := e.Run(ts, m, pm)
+		s, energy, err := e.Run(ctx, ts, m, pm)
 		ch <- solveResult{sched: s, energy: energy, err: err}
 	}()
 	select {
@@ -65,6 +67,95 @@ func runSolve(ctx context.Context, e check.Entry, ts task.Set, m int, pm power.M
 	case <-ctx.Done():
 		return solveResult{err: ctx.Err()}
 	}
+}
+
+// solveOne runs the full per-instance pipeline — cache lookup, admission,
+// solve under a per-item timeout, validator guardrail, cache fill — and
+// returns the response (and the realized schedule when freshly solved)
+// or an HTTP-style status and error. Shared by POST /v1/schedule and
+// each item of POST /v1/schedule/batch.
+func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*ScheduleResponse, *schedule.Schedule, int, error) {
+	if err := validateInstance(req.Tasks, req.Cores, s.cfg.MaxTasks); err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	pm, err := req.Model.Model()
+	if err != nil {
+		return nil, nil, http.StatusBadRequest, err
+	}
+	entry, ok := check.Lookup(req.Algorithm)
+	if !ok {
+		return nil, nil, http.StatusNotFound,
+			fmt.Errorf("unknown algorithm %q (have %v)", req.Algorithm, check.Names())
+	}
+
+	key := solveKey(req.Algorithm, req.Tasks, req.Cores, pm)
+	if cached, ok := s.cache.Get(key); ok {
+		s.metrics.cacheHits.Add(1)
+		resp := *cached // shallow copy; Segments slice is shared read-only
+		resp.Cached = true
+		return &resp, nil, http.StatusOK, nil
+	}
+	s.metrics.cacheMisses.Add(1)
+
+	// Admission: observe the queue depth this request sees, then wait for
+	// a worker slot (or bail out on overload / client death).
+	s.metrics.queueDepth.Observe(float64(s.gate.depth()))
+	ctx := reqCtx
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errOverload):
+			s.metrics.overload.Add(1)
+			return nil, nil, http.StatusTooManyRequests,
+				fmt.Errorf("admission queue full, retry later")
+		default:
+			s.metrics.canceled.Add(1)
+			return nil, nil, statusForCtxErr(err),
+				fmt.Errorf("request ended while queued: %w", err)
+		}
+	}
+	// The slot is released by the solve goroutine itself (see runSolve),
+	// so an abandoned solve keeps its worker until it actually returns.
+	s.metrics.solves.Add(1)
+	res := runSolve(ctx, entry, req.Tasks, req.Cores, pm, s.gate.release)
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			s.metrics.canceled.Add(1)
+			return nil, nil, statusForCtxErr(res.err), fmt.Errorf("solve aborted: %w", res.err)
+		default:
+			s.metrics.solveErrors.Add(1)
+			return nil, nil, http.StatusUnprocessableEntity, fmt.Errorf("solve failed: %w", res.err)
+		}
+	}
+
+	// Guardrail: never ship a schedule the universal validator rejects.
+	if !s.cfg.DisableVerify {
+		if violations := check.Validate(res.sched, req.Tasks, req.Cores, pm); len(violations) > 0 {
+			s.metrics.verifyFailures.Add(1)
+			return nil, nil, http.StatusInternalServerError,
+				fmt.Errorf("produced schedule failed verification: %v (+%d more)",
+					violations[0], len(violations)-1)
+		}
+	}
+
+	resp := &ScheduleResponse{
+		Version:   wire.Version,
+		Algorithm: req.Algorithm,
+		Cores:     req.Cores,
+		Energy:    res.energy,
+		BusyTime:  res.sched.BusyTime(),
+		Makespan:  res.sched.Makespan(),
+		Verified:  !s.cfg.DisableVerify,
+		Segments:  segmentsJSON(res.sched),
+	}
+	s.cache.Put(key, resp)
+	out := *resp
+	return &out, res.sched, http.StatusOK, nil
 }
 
 // handleSchedule serves POST /v1/schedule.
@@ -86,94 +177,92 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if err := validateInstance(req.Tasks, req.Cores, s.cfg.MaxTasks); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	pm, err := req.Model.Model()
+	resp, sched, code, err := s.solveOne(r.Context(), &req)
 	if err != nil {
+		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+			retryAfter(w, 1)
+		}
+		writeError(w, code, "%v", err)
+		return
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	s.respondSchedule(w, r, resp, sched)
+}
+
+// maxBatchItems bounds one batch request; larger batches should be
+// split by the client.
+const maxBatchItems = 256
+
+// handleScheduleBatch serves POST /v1/schedule/batch: independent
+// instances solved concurrently, each through the same admission gate,
+// cache, and validator guardrail as POST /v1/schedule. The batch
+// response is 200 whenever the batch was processed; per-item failures
+// carry their own HTTP-equivalent status.
+func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		return
+	}
+	if s.draining.Load() {
+		retryAfter(w, 1)
+		s.metrics.draining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	start := time.Now()
+
+	var req BatchRequest
+	if err := decodeJSON(w, r, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	entry, ok := check.Lookup(req.Algorithm)
-	if !ok {
-		writeError(w, http.StatusNotFound,
-			"unknown algorithm %q (have %v)", req.Algorithm, check.Names())
+	if len(req.Items) == 0 {
+		writeError(w, http.StatusBadRequest, "batch has no items")
+		return
+	}
+	if len(req.Items) > maxBatchItems {
+		writeError(w, http.StatusBadRequest,
+			"batch has %d items, limit is %d", len(req.Items), maxBatchItems)
 		return
 	}
 
-	key := solveKey(req.Algorithm, req.Tasks, req.Cores, pm)
-	if cached, ok := s.cache.Get(key); ok {
-		s.metrics.cacheHits.Add(1)
-		resp := *cached // shallow copy; Segments slice is shared read-only
-		resp.Cached = true
-		resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-		s.respondSchedule(w, r, &resp, nil)
-		return
+	s.metrics.batches.Add(1)
+	items := make([]BatchItem, len(req.Items))
+	// Fan out at most Workers items at a time: each still passes the
+	// admission gate, but a large batch queues here instead of flooding
+	// the shared admission queue (which would 429 its own tail).
+	workers := s.cfg.Workers
+	if workers > len(req.Items) {
+		workers = len(req.Items)
 	}
-	s.metrics.cacheMisses.Add(1)
-
-	// Admission: observe the queue depth this request sees, then wait for
-	// a worker slot (or bail out on overload / client death).
-	s.metrics.queueDepth.Observe(float64(s.gate.depth()))
-	ctx := r.Context()
-	if s.cfg.SolveTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
-		defer cancel()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				itemStart := time.Now()
+				resp, _, code, err := s.solveOne(r.Context(), &req.Items[i])
+				if err != nil {
+					items[i] = BatchItem{Index: i, Error: err.Error(), Status: code}
+					continue
+				}
+				resp.ElapsedMS = float64(time.Since(itemStart)) / float64(time.Millisecond)
+				items[i] = BatchItem{Index: i, Response: resp}
+			}
+		}()
 	}
-	if err := s.gate.acquire(ctx); err != nil {
-		switch {
-		case errors.Is(err, errOverload):
-			s.metrics.overload.Add(1)
-			retryAfter(w, 1)
-			writeError(w, http.StatusTooManyRequests, "admission queue full, retry later")
-		default:
-			s.metrics.canceled.Add(1)
-			writeError(w, statusForCtxErr(err), "request ended while queued: %v", err)
-		}
-		return
+	for i := range req.Items {
+		idx <- i
 	}
-	// The slot is released by the solve goroutine itself (see runSolve),
-	// so an abandoned solve keeps its worker until it actually returns.
-	s.metrics.solves.Add(1)
-	res := runSolve(ctx, entry, req.Tasks, req.Cores, pm, s.gate.release)
-	if res.err != nil {
-		switch {
-		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
-			s.metrics.canceled.Add(1)
-			writeError(w, statusForCtxErr(res.err), "solve aborted: %v", res.err)
-		default:
-			s.metrics.solveErrors.Add(1)
-			writeError(w, http.StatusUnprocessableEntity, "solve failed: %v", res.err)
-		}
-		return
-	}
-
-	// Guardrail: never ship a schedule the universal validator rejects.
-	if !s.cfg.DisableVerify {
-		if violations := check.Validate(res.sched, req.Tasks, req.Cores, pm); len(violations) > 0 {
-			s.metrics.verifyFailures.Add(1)
-			writeError(w, http.StatusInternalServerError,
-				"produced schedule failed verification: %v (+%d more)",
-				violations[0], len(violations)-1)
-			return
-		}
-	}
-
-	resp := &ScheduleResponse{
-		Algorithm: req.Algorithm,
-		Cores:     req.Cores,
-		Energy:    res.energy,
-		BusyTime:  res.sched.BusyTime(),
-		Makespan:  res.sched.Makespan(),
-		Verified:  !s.cfg.DisableVerify,
-		Segments:  segmentsJSON(res.sched),
-	}
-	s.cache.Put(key, resp)
-	out := *resp
-	out.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
-	s.respondSchedule(w, r, &out, res.sched)
+	close(idx)
+	wg.Wait()
+	writeJSON(w, http.StatusOK, BatchResponse{
+		Version:   wire.Version,
+		Items:     items,
+		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
+	})
 }
 
 // respondSchedule writes either the JSON schedule payload or, with

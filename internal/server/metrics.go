@@ -91,6 +91,7 @@ type Metrics struct {
 	solveErrors    atomic.Int64 // solver returned an error
 	verifyFailures atomic.Int64 // guardrail rejected a produced schedule
 	canceled       atomic.Int64 // request context ended before/during solve
+	batches        atomic.Int64 // batch requests processed
 
 	// Admission accounting.
 	overload atomic.Int64 // 429 rejections (queue full)
@@ -153,6 +154,7 @@ func (m *Metrics) Write(w io.Writer) {
 	}
 
 	fmt.Fprintf(w, "schedd_solves_total %d\n", m.solves.Load())
+	fmt.Fprintf(w, "schedd_batches_total %d\n", m.batches.Load())
 	fmt.Fprintf(w, "schedd_solve_errors_total %d\n", m.solveErrors.Load())
 	fmt.Fprintf(w, "schedd_verify_failures_total %d\n", m.verifyFailures.Load())
 	fmt.Fprintf(w, "schedd_canceled_total %d\n", m.canceled.Load())

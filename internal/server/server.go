@@ -11,12 +11,13 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule    solve an instance with a registered algorithm
-//	POST /v1/feasible    max-flow feasibility + minimal uniform speed
-//	GET  /v1/algorithms  registered algorithm names
-//	GET  /healthz        liveness (503 while draining)
-//	GET  /metrics        expvar-style text metrics
-//	     /debug/pprof/*  runtime profiles
+//	POST /v1/schedule        solve an instance with a registered algorithm
+//	POST /v1/schedule/batch  solve independent instances across the pool
+//	POST /v1/feasible        max-flow feasibility + minimal uniform speed
+//	GET  /v1/algorithms      registered algorithm names
+//	GET  /healthz            liveness (503 while draining)
+//	GET  /metrics            expvar-style text metrics
+//	     /debug/pprof/*      runtime profiles
 package server
 
 import (
@@ -115,6 +116,7 @@ func New(cfg Config) *Server {
 	s.metrics = newMetrics(s.gate.depth)
 
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
+	s.mux.HandleFunc("/v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("/v1/feasible", s.handleFeasible)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -144,7 +146,7 @@ func (s *Server) Handler() http.Handler {
 
 		elapsed := time.Since(start)
 		s.metrics.response(rec.status)
-		if r.URL.Path == "/v1/schedule" || r.URL.Path == "/v1/feasible" {
+		if r.URL.Path == "/v1/schedule" || r.URL.Path == "/v1/schedule/batch" || r.URL.Path == "/v1/feasible" {
 			s.metrics.latencyMS.Observe(float64(elapsed) / float64(time.Millisecond))
 		}
 		s.cfg.Logger.Printf("method=%s path=%s status=%d dur=%s bytes=%d",

@@ -29,7 +29,7 @@ var (
 func init() {
 	check.Register(check.Entry{
 		Name: "test-block",
-		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+		Run: func(_ context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
 			testBlockStarted <- struct{}{}
 			<-testBlockRelease
 			return nil, 0, fmt.Errorf("test-block released")
@@ -37,7 +37,7 @@ func init() {
 	})
 	check.Register(check.Entry{
 		Name: "test-broken",
-		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+		Run: func(_ context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
 			s := schedule.New(ts, m)
 			// Half the work of task 0 only: a work-conservation violation
 			// for every task the validator must catch.

@@ -1,6 +1,8 @@
 package yds
 
 import (
+	"context"
+
 	"repro/internal/check"
 	"repro/internal/power"
 	"repro/internal/schedule"
@@ -13,7 +15,10 @@ import (
 func init() {
 	check.Register(check.Entry{
 		Name: "YDS",
-		Run: func(ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+		Run: func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			if err := ctx.Err(); err != nil {
+				return nil, 0, err
+			}
 			sched, _, err := Schedule(ts)
 			if err != nil {
 				return nil, 0, err
