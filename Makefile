@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke ci serve loadtest bench bench-smoke clean
+.PHONY: all vet build test race fuzz-smoke chaos vulncheck ci serve loadtest bench bench-smoke clean
 
 all: build
 
@@ -22,7 +22,22 @@ race:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzSchedulers -fuzztime=10s .
 
-ci: vet build test race fuzz-smoke
+# Fault-injection soak: schedd under every injection point, validating
+# client, zero crashes and zero invalid schedules tolerated. Tune with
+# CHAOS_DURATION / CHAOS_SEED / CHAOS_BUILDFLAGS (e.g. -race).
+chaos:
+	sh scripts/chaos.sh
+
+# Known-vulnerability scan, skipped quietly where the tool isn't
+# installed (it needs network access to fetch the vuln DB).
+vulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+	fi
+
+ci: vet build test race fuzz-smoke vulncheck
 
 # Run the HTTP scheduling daemon on :8080 (override: make serve ADDR=:9090).
 ADDR ?= :8080

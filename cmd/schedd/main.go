@@ -1,21 +1,34 @@
 // Command schedd is the scheduling daemon: a JSON HTTP service that
 // solves energy-aware aperiodic-task instances with any scheduler in the
 // repository's registry, behind admission control, a solve cache, an
-// in-band schedule-verification guardrail, and first-class metrics.
+// in-band schedule-verification guardrail, per-algorithm circuit
+// breakers with an always-feasible fallback chain, and first-class
+// metrics.
 //
 // Usage:
 //
 //	schedd [-addr :8080] [-workers N] [-queue 64] [-cache 1024]
 //	       [-timeout 5s] [-max-tasks 10000] [-no-verify] [-quiet]
+//	       [-fallback MaxFreq] [-breaker-threshold 5] [-breaker-cooldown 2s]
+//	       [-faults point=rate,...] [-fault-seed N] [-fault-delay 100ms]
 //
 // Endpoints (see internal/server):
 //
 //	POST /v1/schedule    {"algorithm":"S^F2","cores":4,"model":{"alpha":3,"p0":0.05},"tasks":[...]}
 //	POST /v1/feasible    {"cores":4,"speed":1,"tasks":[...]}
 //	GET  /v1/algorithms
-//	GET  /healthz
+//	GET  /healthz        liveness
+//	GET  /readyz         readiness (503 while draining / all breakers open)
 //	GET  /metrics
 //	     /debug/pprof/*
+//
+// Fault injection is OFF unless -faults (or SCHEDD_FAULTS) names at
+// least one point with a nonzero rate, e.g.
+//
+//	schedd -faults solver_panic=0.1,cache_corrupt=0.2 -fault-seed 42
+//
+// It exists for chaos testing (`make chaos`); never enable it in a real
+// deployment.
 //
 // SIGINT/SIGTERM drain gracefully: in-flight solves finish (bounded by
 // the grace timeout) while new work is rejected with 503.
@@ -32,11 +45,23 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/server"
 )
+
+// envDefault returns the environment value when the flag was left at its
+// default, so SCHEDD_FAULTS / SCHEDD_FAULT_SEED work in harnesses that
+// cannot pass flags.
+func envDefault(flagVal, env string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	return os.Getenv(env)
+}
 
 func main() {
 	var (
@@ -49,6 +74,15 @@ func main() {
 		noVerify = flag.Bool("no-verify", false, "skip the in-band schedule verification guardrail")
 		grace    = flag.Duration("grace", 5*time.Second, "drain timeout on shutdown")
 		quiet    = flag.Bool("quiet", false, "suppress per-request log lines")
+
+		fallbackAlg = flag.String("fallback", "", `fallback algorithm for failed solves ("" = MaxFreq, "none" disables)`)
+		brThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open an algorithm's breaker (0 = default 5, negative disables)")
+		brCooldown  = flag.Duration("breaker-cooldown", 0, "initial open-breaker cooldown before a half-open probe (0 = default 2s)")
+		brMax       = flag.Duration("breaker-max-cooldown", 0, "cap on the exponentially growing cooldown (0 = default 30s)")
+
+		faultSpec  = flag.String("faults", "", "fault-injection spec point=rate,... (env SCHEDD_FAULTS); empty disables")
+		faultSeed  = flag.Int64("fault-seed", 0, "fault-injection RNG seed (env SCHEDD_FAULT_SEED; 0 = 1)")
+		faultDelay = flag.Duration("fault-delay", 0, "duration of injected solver_delay faults (0 = default 100ms)")
 	)
 	flag.Parse()
 
@@ -58,16 +92,39 @@ func main() {
 	}
 	logger := log.New(logOut, "schedd ", log.LstdFlags|log.Lmicroseconds)
 
+	spec := envDefault(*faultSpec, "SCHEDD_FAULTS")
+	if spec != "" {
+		rates, err := fault.ParseRates(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedd: -faults: %v\n", err)
+			os.Exit(2)
+		}
+		seed := *faultSeed
+		if seed == 0 {
+			if env := os.Getenv("SCHEDD_FAULT_SEED"); env != "" {
+				if v, err := strconv.ParseInt(env, 10, 64); err == nil {
+					seed = v
+				}
+			}
+		}
+		fault.Enable(fault.New(fault.Plan{Rates: rates, Seed: seed, Delay: *faultDelay}))
+		fmt.Fprintf(os.Stderr, "schedd: FAULT INJECTION ACTIVE: %s (seed=%d)\n", spec, seed)
+	}
+
 	srv := server.New(server.Config{
-		Addr:          *addr,
-		Workers:       *workers,
-		Queue:         *queue,
-		CacheSize:     *cache,
-		SolveTimeout:  *timeout,
-		MaxTasks:      *maxTasks,
-		DisableVerify: *noVerify,
-		GraceTimeout:  *grace,
-		Logger:        logger,
+		Addr:               *addr,
+		Workers:            *workers,
+		Queue:              *queue,
+		CacheSize:          *cache,
+		SolveTimeout:       *timeout,
+		MaxTasks:           *maxTasks,
+		DisableVerify:      *noVerify,
+		GraceTimeout:       *grace,
+		Logger:             logger,
+		FallbackAlgorithm:  *fallbackAlg,
+		BreakerThreshold:   *brThreshold,
+		BreakerCooldown:    *brCooldown,
+		BreakerMaxCooldown: *brMax,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -11,11 +11,20 @@
 //	schedload [-addr http://127.0.0.1:8080] [-c 16] [-duration 5s | -n 10000]
 //	          [-algorithm S^F2] [-cores 4] [-alpha 3] [-p0 0.05]
 //	          [-ntasks 20] [-distinct 16] [-seed 1] [-tasks FILE] [-no-verify]
+//	          [-retries 0] [-tolerate-errors]
 //
 // Workloads are paper-default random instances by default (-ntasks tasks
 // each, -distinct of them cycled round-robin, which also exercises the
 // server's solve cache); -tasks FILE replays one fixed instance from a
 // JSON or CSV file written by cmd/taskgen.
+//
+// With -retries > 0, transient failures (transport errors, 429, 502,
+// 503, 504) are retried with capped exponential backoff plus jitter,
+// honoring the server's Retry-After header — the client half of schedd's
+// graceful-degradation contract. -tolerate-errors keeps exhausted HTTP
+// errors from failing the run (for chaos soaks where some error budget
+// is expected); validator failures always fail the run, because an
+// invalid 200 is never acceptable.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -45,6 +55,7 @@ import (
 // goroutine merges them, so the hot loop takes no locks.
 type stats struct {
 	ok, cached, verifyFail int64
+	degraded, retried      int64
 	codes                  map[int]int64
 	latencies              []float64 // milliseconds
 	firstErr               string
@@ -67,6 +78,8 @@ func main() {
 		tasksFile = flag.String("tasks", "", "replay one instance from a JSON/CSV file instead of generating")
 		noVerify  = flag.Bool("no-verify", false, "skip client-side schedule validation")
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		retries   = flag.Int("retries", 0, "retry budget per request for transient failures (429/502/503/504/transport)")
+		tolerate  = flag.Bool("tolerate-errors", false, "exit 0 despite HTTP errors (validator failures still fail the run)")
 	)
 	flag.Parse()
 
@@ -127,6 +140,8 @@ func main() {
 	for w := 0; w < *conc; w++ {
 		st := &stats{codes: make(map[int]int64)}
 		all[w] = st
+		// Per-worker jitter RNG: no locks in the hot loop.
+		rng := rand.New(rand.NewSource(*seed + int64(w)*7919))
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -136,7 +151,7 @@ func main() {
 					return
 				}
 				k := int(i) % len(instances)
-				shoot(client, url, bodies[k], instances[k], *cores, pm, *noVerify, st)
+				shoot(client, url, bodies[k], instances[k], *cores, pm, *noVerify, *retries, rng, st)
 			}
 		}()
 	}
@@ -144,26 +159,70 @@ func main() {
 	elapsed := time.Since(start)
 
 	report(all, elapsed)
+	exit := 0
 	for _, st := range all {
-		if st.verifyFail > 0 || st.firstErr != "" {
-			os.Exit(1)
+		if st.verifyFail > 0 {
+			exit = 1 // an invalid 200 is never tolerable
+		}
+		if st.firstErr != "" && !*tolerate {
+			exit = 1
 		}
 	}
+	os.Exit(exit)
 }
 
-// shoot issues one request and records the outcome into st.
-func shoot(client *http.Client, url string, body []byte, ts task.Set, cores int, pm power.Model, noVerify bool, st *stats) {
-	t0 := time.Now()
-	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
-	if err != nil {
-		st.codes[-1]++
-		if st.firstErr == "" {
-			st.firstErr = err.Error()
-		}
-		return
+// retryableStatus reports whether an HTTP status is a transient failure
+// worth retrying: admission pushback and gateway-style server errors.
+func retryableStatus(code int) bool {
+	switch code {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
 	}
-	payload, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	return false
+}
+
+// backoffWait computes the next retry delay: exponential from 50ms with
+// full jitter, capped at 2s; an explicit server Retry-After wins.
+func backoffWait(attempt int, retryAfter string, rng *rand.Rand) time.Duration {
+	if retryAfter != "" {
+		if secs, err := strconv.Atoi(retryAfter); err == nil && secs >= 0 {
+			w := time.Duration(secs) * time.Second
+			if w > 2*time.Second {
+				w = 2 * time.Second
+			}
+			return w
+		}
+	}
+	base := 50 * time.Millisecond << uint(attempt)
+	if base > 2*time.Second {
+		base = 2 * time.Second
+	}
+	return base/2 + time.Duration(rng.Int63n(int64(base/2)+1))
+}
+
+// shoot issues one request (with up to `retries` transient-failure
+// retries) and records the final outcome into st.
+func shoot(client *http.Client, url string, body []byte, ts task.Set, cores int, pm power.Model, noVerify bool, retries int, rng *rand.Rand, st *stats) {
+	t0 := time.Now()
+	var resp *http.Response
+	var payload []byte
+	var err error
+	for attempt := 0; ; attempt++ {
+		resp, err = client.Post(url, "application/json", bytes.NewReader(body))
+		retryAfter := ""
+		if err == nil {
+			payload, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			retryAfter = resp.Header.Get("Retry-After")
+		}
+		transient := err != nil || retryableStatus(resp.StatusCode)
+		if !transient || attempt >= retries {
+			break
+		}
+		st.retried++
+		time.Sleep(backoffWait(attempt, retryAfter, rng))
+	}
 	lat := float64(time.Since(t0)) / float64(time.Millisecond)
 	if err != nil {
 		st.codes[-1]++
@@ -193,6 +252,9 @@ func shoot(client *http.Client, url string, body []byte, ts task.Set, cores int,
 	st.latencies = append(st.latencies, lat)
 	if sr.Cached {
 		st.cached++
+	}
+	if sr.Degraded {
+		st.degraded++
 	}
 	if !noVerify {
 		sched := schedule.New(ts, cores)
@@ -248,7 +310,7 @@ func buildInstances(file string, n, distinct int, seed int64) ([]task.Set, error
 
 // report merges worker tallies and prints the run summary.
 func report(all []*stats, elapsed time.Duration) {
-	var ok, cached, verifyFail int64
+	var ok, cached, verifyFail, degraded, retried int64
 	codes := make(map[int]int64)
 	var lats []float64
 	firstErr := ""
@@ -256,6 +318,8 @@ func report(all []*stats, elapsed time.Duration) {
 		ok += st.ok
 		cached += st.cached
 		verifyFail += st.verifyFail
+		degraded += st.degraded
+		retried += st.retried
 		for c, n := range st.codes {
 			codes[c] += n
 		}
@@ -285,6 +349,13 @@ func report(all []*stats, elapsed time.Duration) {
 	}
 	if ok > 0 {
 		fmt.Printf("cache:      %d hits (%.1f%% of ok responses)\n", cached, 100*float64(cached)/float64(ok))
+	}
+	if degraded > 0 {
+		fmt.Printf("degraded:   %d responses served by the fallback chain (%.1f%% of ok)\n",
+			degraded, 100*float64(degraded)/float64(ok))
+	}
+	if retried > 0 {
+		fmt.Printf("retries:    %d transient failures retried\n", retried)
 	}
 	if len(codes) > 1 || codes[http.StatusOK] == 0 {
 		keys := make([]int, 0, len(codes))

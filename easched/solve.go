@@ -4,11 +4,14 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+	"time"
 
 	"repro/internal/capped"
 	"repro/internal/core"
 	"repro/internal/discrete"
+	"repro/internal/fault"
 	"repro/internal/interval"
 	"repro/internal/online"
 	"repro/internal/opt"
@@ -118,10 +121,47 @@ var solverPool = sync.Pool{New: func() any { return core.NewSolver() }}
 // convex solver (Compare) observe ctx between solver passes and abort
 // promptly with an error wrapping ctx.Err(); the remaining methods check
 // ctx at phase boundaries.
-func Solve(ctx context.Context, spec Spec) (*Report, error) {
+//
+// Robustness: a panic anywhere in the pipeline is recovered and
+// returned as a *PanicError matching ErrSolverPanic, and errors are
+// classified into the package's taxonomy (ErrInfeasible,
+// ErrDeadlineExceeded) for errors.Is dispatch. When a process-wide
+// fault injector is enabled (internal/fault, off by default), Solve
+// honors the solver_panic, solver_delay, and alloc_error points.
+func Solve(ctx context.Context, spec Spec) (rep *Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			rep, err = nil, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	if in := fault.Active(); in != nil {
+		if in.Should(fault.SolverPanic) {
+			panic("injected solver panic")
+		}
+		if in.Should(fault.SolverDelay) {
+			t := time.NewTimer(in.Delay())
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				t.Stop()
+			}
+		}
+		if ferr := in.Err(fault.AllocError); ferr != nil {
+			return nil, ferr
+		}
+	}
+	rep, err = solve(ctx, spec)
+	if err != nil {
+		return nil, classify(err)
+	}
+	return rep, nil
+}
+
+// solve is the taxonomy- and recovery-free pipeline behind Solve.
+func solve(ctx context.Context, spec Spec) (*Report, error) {
 	method := spec.Method
 	if method == "" {
 		method = MethodDER

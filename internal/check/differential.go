@@ -186,7 +186,9 @@ func DifferentialOpts(ts task.Set, m int, pm power.Model, o DiffOptions) (*DiffR
 	}
 	for _, e := range entries {
 		res := DiffResult{Name: e.Name}
-		sched, energy, runErr := e.Run(context.Background(), ts, m, pm)
+		// RunSafe: a panicking scheduler becomes one ERROR row instead of
+		// taking down the whole audit.
+		sched, energy, runErr := e.RunSafe(context.Background(), ts, m, pm)
 		if runErr != nil {
 			res.Err = runErr
 			rep.Results = append(rep.Results, res)

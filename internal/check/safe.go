@@ -1,0 +1,45 @@
+package check
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// ErrSolverPanic marks an error that was recovered from a scheduler
+// panic. Match with errors.Is; the concrete *PanicError (errors.As)
+// carries the panic value and stack.
+var ErrSolverPanic = errors.New("solver panicked")
+
+// PanicError is a recovered scheduler panic converted into an error.
+type PanicError struct {
+	// Value is the value passed to panic.
+	Value any
+	// Stack is the goroutine stack captured at recovery.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("solver panicked: %v", e.Value) }
+
+// Is reports ErrSolverPanic so errors.Is(err, ErrSolverPanic) matches.
+func (e *PanicError) Is(target error) bool { return target == ErrSolverPanic }
+
+// RunSafe executes the entry's runner with panic containment: a panic
+// inside the scheduler becomes a *PanicError instead of crashing the
+// caller. The differential harness and the serving layer both go
+// through this, so one pathological instance cannot take down a whole
+// audit (or the daemon).
+func (e Entry) RunSafe(ctx context.Context, ts task.Set, m int, pm power.Model) (s *schedule.Schedule, energy float64, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s, energy = nil, 0
+			err = &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return e.Run(ctx, ts, m, pm)
+}

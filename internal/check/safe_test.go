@@ -1,0 +1,56 @@
+package check_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+func TestRunSafeRecoversPanics(t *testing.T) {
+	e := check.Entry{
+		Name: "panicky",
+		Run: func(context.Context, task.Set, int, power.Model) (*schedule.Schedule, float64, error) {
+			panic("boom at subinterval 3")
+		},
+	}
+	ts := task.MustNew([3]float64{0, 1, 2})
+	s, energy, err := e.RunSafe(context.Background(), ts, 1, power.Unit(3, 0))
+	if s != nil || energy != 0 {
+		t.Fatalf("panic produced a result: %v %g", s, energy)
+	}
+	if !errors.Is(err, check.ErrSolverPanic) {
+		t.Fatalf("err = %v, want errors.Is(err, ErrSolverPanic)", err)
+	}
+	var pe *check.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *check.PanicError", err)
+	}
+	if pe.Value != "boom at subinterval 3" || len(pe.Stack) == 0 {
+		t.Fatalf("panic payload not preserved: %+v", pe)
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("error message hides the panic value: %v", err)
+	}
+}
+
+func TestRunSafePassesThroughResults(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 1, 2})
+	e := check.Entry{
+		Name: "fine",
+		Run: func(_ context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+			s := schedule.New(ts, m)
+			s.Add(schedule.Segment{Task: 0, Core: 0, Start: 0, End: 2, Frequency: 0.5})
+			return s, s.Energy(pm), nil
+		},
+	}
+	s, energy, err := e.RunSafe(context.Background(), ts, 1, power.Unit(3, 0))
+	if err != nil || s == nil || energy <= 0 {
+		t.Fatalf("passthrough broken: %v %g %v", s, energy, err)
+	}
+}

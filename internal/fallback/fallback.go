@@ -1,0 +1,107 @@
+// Package fallback is the always-feasible baseline scheduler behind the
+// serving stack's graceful-degradation chain: when the requested
+// algorithm fails (error, panic, deadline blow, invalid schedule) the
+// server re-solves with this canonical schedule — higher energy but
+// guaranteed valid — in the spirit of MORA-style slack-reclamation
+// systems, which fall back to the canonical feasible schedule whenever
+// the optimizing layer cannot deliver.
+//
+// The construction is deliberately boring: decompose the instance into
+// subintervals, take the max-flow witness at a uniform speed of
+// max(1, minimal feasible speed), and realize it with the McNaughton
+// wrap-around rule. Every stage is an oracle the repository already
+// trusts (interval, feas, pack), there is no iterative optimization to
+// diverge or stall, and the result is feasible by construction for any
+// valid task set.
+package fallback
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/feas"
+	"repro/internal/interval"
+	"repro/internal/pack"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/task"
+)
+
+// Name is the registry name of the fallback scheduler.
+const Name = "MaxFreq"
+
+// speedSlack lifts the realized uniform speed a hair above the bisected
+// minimum so the max-flow witness saturates cleanly.
+const speedSlack = 1e-6
+
+// Schedule builds the canonical always-feasible schedule: all execution
+// at one uniform speed, max(1, minimal feasible speed). Returns the
+// schedule and its energy under pm.
+func Schedule(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	d, err := interval.Decompose(ts, 1e-9)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fallback: %w", err)
+	}
+	speed := 1.0
+	minSpeed, _, err := feas.MinSpeed(d, m, 1e-9)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fallback: min speed: %w", err)
+	}
+	if s := minSpeed * (1 + speedSlack); s > speed {
+		speed = s
+	}
+	ok, w, err := feas.Feasible(d, m, speed)
+	if err != nil {
+		return nil, 0, fmt.Errorf("fallback: %w", err)
+	}
+	if !ok || w == nil {
+		// MinSpeed certified feasibility just below; one more nudge covers
+		// bisection-tolerance noise before giving up.
+		speed *= 1 + 1e-3
+		ok, w, err = feas.Feasible(d, m, speed)
+		if err != nil || !ok || w == nil {
+			return nil, 0, fmt.Errorf("fallback: instance infeasible at uniform speed %g (err=%v)", speed, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+
+	sched := schedule.New(ts, m)
+	var pieces []pack.Piece
+	reqs := make([]pack.Request, 0, len(ts))
+	for j, sub := range d.Subs {
+		reqs = reqs[:0]
+		for i := range ts {
+			k := j - d.FirstSub(i)
+			if k < 0 || k >= len(w.X[i]) {
+				continue
+			}
+			if x := w.X[i][k]; x > 0 {
+				// Clamp float noise from the max-flow solution back inside
+				// the subinterval so the packer's precondition holds.
+				if l := sub.Length(); x > l {
+					x = l
+				}
+				reqs = append(reqs, pack.Request{Task: i, Time: x})
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		pieces, err = pack.AppendInterval(pieces[:0], sub.Start, sub.End, m, reqs)
+		if err != nil {
+			return nil, 0, fmt.Errorf("fallback: pack subinterval %d: %w", j, err)
+		}
+		for _, p := range pieces {
+			sched.Add(schedule.Segment{
+				Task: p.Task, Core: p.Core,
+				Start: p.Start, End: p.End, Frequency: speed,
+			})
+		}
+	}
+	return sched, sched.Energy(pm), nil
+}

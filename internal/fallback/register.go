@@ -1,0 +1,13 @@
+package fallback
+
+import (
+	"repro/internal/check"
+)
+
+// The fallback baseline self-registers like every other scheduler, so it
+// is selectable through the normal API, shows up in GET /v1/algorithms,
+// and gets audited by the differential oracle alongside the heuristics
+// it backs up.
+func init() {
+	check.Register(check.Entry{Name: Name, Run: Schedule})
+}

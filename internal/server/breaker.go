@@ -1,0 +1,248 @@
+package server
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker lifecycle.
+type breakerState int32
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case breakerClosed:
+		return "closed"
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "unknown"
+	}
+}
+
+// breaker is a per-algorithm circuit breaker: `threshold` consecutive
+// solve failures open it; while open every request is denied (and routed
+// straight to the fallback chain) until the cooldown elapses, after
+// which exactly one half-open probe is let through. A successful probe
+// closes the breaker; a failed one re-opens it with the cooldown
+// doubled (capped at maxCooldown), so a persistently broken algorithm
+// is probed at an exponentially decaying rate instead of hammering it.
+type breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration
+	now         func() time.Time // injectable clock for deterministic tests
+
+	state       breakerState
+	consecutive int           // consecutive failures while closed
+	wait        time.Duration // current open cooldown
+	until       time.Time     // when an open breaker next admits a probe
+	probing     bool          // a half-open probe is in flight
+
+	opened, halfOpened, closed int64 // transition counters (to-state)
+}
+
+func newBreaker(threshold int, cooldown, maxCooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{
+		threshold:   threshold,
+		cooldown:    cooldown,
+		maxCooldown: maxCooldown,
+		now:         now,
+	}
+}
+
+// allow reports whether a request for this algorithm may run. A denied
+// request should skip straight to the fallback chain.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Before(b.until) {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.halfOpened++
+		b.probing = true
+		return true
+	case breakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return true
+}
+
+// success records a completed, valid solve and closes the breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state != breakerClosed {
+		b.state = breakerClosed
+		b.closed++
+	}
+	b.consecutive = 0
+	b.wait = 0
+	b.probing = false
+}
+
+// failure records a solve failure (error, panic, deadline blow, or
+// invalid schedule). In half-open it re-opens with doubled cooldown; in
+// closed it opens once the consecutive-failure threshold is reached.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerHalfOpen:
+		b.probing = false
+		b.wait *= 2
+		if b.wait > b.maxCooldown {
+			b.wait = b.maxCooldown
+		}
+		b.open()
+	case breakerClosed:
+		b.consecutive++
+		if b.consecutive >= b.threshold {
+			b.wait = b.cooldown
+			b.open()
+		}
+	case breakerOpen:
+		// A failure from a request admitted before the breaker opened;
+		// nothing to do, the breaker is already open.
+	}
+}
+
+// open transitions to open using the current b.wait (callers hold mu).
+func (b *breaker) open() {
+	b.state = breakerOpen
+	b.opened++
+	b.until = b.now().Add(b.wait)
+	b.consecutive = 0
+}
+
+// breakerStat is one breaker's observable state for /metrics.
+type breakerStat struct {
+	algorithm                  string
+	state                      breakerState
+	opened, halfOpened, closed int64
+}
+
+func (b *breaker) stat(name string) breakerStat {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return breakerStat{
+		algorithm: name, state: b.state,
+		opened: b.opened, halfOpened: b.halfOpened, closed: b.closed,
+	}
+}
+
+// breakerSet lazily owns one breaker per algorithm name. A nil set (or
+// one built with threshold <= 0) disables breaking entirely.
+type breakerSet struct {
+	mu          sync.Mutex
+	byName      map[string]*breaker
+	threshold   int
+	cooldown    time.Duration
+	maxCooldown time.Duration
+	now         func() time.Time
+}
+
+func newBreakerSet(threshold int, cooldown, maxCooldown time.Duration, now func() time.Time) *breakerSet {
+	if threshold <= 0 {
+		return nil
+	}
+	return &breakerSet{
+		byName:      make(map[string]*breaker),
+		threshold:   threshold,
+		cooldown:    cooldown,
+		maxCooldown: maxCooldown,
+		now:         now,
+	}
+}
+
+// get returns the breaker for the named algorithm, creating it closed.
+func (s *breakerSet) get(name string) *breaker {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.byName[name]
+	if !ok {
+		b = newBreaker(s.threshold, s.cooldown, s.maxCooldown, s.now)
+		s.byName[name] = b
+	}
+	return b
+}
+
+// stats returns every breaker's state, sorted by algorithm name.
+func (s *breakerSet) stats() []breakerStat {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	names := make([]string, 0, len(s.byName))
+	for name := range s.byName {
+		names = append(names, name)
+	}
+	brs := make([]*breaker, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		brs = append(brs, s.byName[name])
+	}
+	s.mu.Unlock()
+	out := make([]breakerStat, len(names))
+	for i, name := range names {
+		out[i] = brs[i].stat(name)
+	}
+	return out
+}
+
+// allOpen reports whether at least one breaker exists and every one is
+// open — the readiness probe's "nothing can be served" condition.
+func (s *breakerSet) allOpen() bool {
+	if s == nil {
+		return false
+	}
+	for _, st := range s.stats() {
+		if st.state != breakerOpen {
+			return false
+		}
+	}
+	s.mu.Lock()
+	n := len(s.byName)
+	s.mu.Unlock()
+	return n > 0
+}
+
+// allowed is breaker.allow for a possibly-nil breaker.
+func (b *breaker) allowed() bool { return b == nil || b.allow() }
+
+// onSuccess / onFailure are nil-safe bookkeeping helpers.
+func (b *breaker) onSuccess() {
+	if b != nil {
+		b.success()
+	}
+}
+
+func (b *breaker) onFailure() {
+	if b != nil {
+		b.failure()
+	}
+}

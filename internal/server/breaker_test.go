@@ -1,0 +1,133 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func TestBreakerOpensAtThreshold(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(3, time.Second, 8*time.Second, clk.now)
+
+	for i := 0; i < 2; i++ {
+		if !b.allow() {
+			t.Fatalf("closed breaker denied request %d", i)
+		}
+		b.failure()
+	}
+	if st := b.stat("x"); st.state != breakerClosed {
+		t.Fatalf("state after 2 failures = %v, want closed", st.state)
+	}
+	b.allow()
+	b.failure() // third consecutive failure: opens
+	if st := b.stat("x"); st.state != breakerOpen || st.opened != 1 {
+		t.Fatalf("state after threshold = %v (opened=%d), want open once", st.state, st.opened)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+}
+
+func TestBreakerSuccessResetsConsecutive(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(2, time.Second, 8*time.Second, clk.now)
+	b.allow()
+	b.failure()
+	b.allow()
+	b.success() // streak broken
+	b.allow()
+	b.failure() // only 1 consecutive again
+	if st := b.stat("x"); st.state != breakerClosed {
+		t.Fatalf("state = %v, want closed (success should reset the streak)", st.state)
+	}
+}
+
+func TestBreakerHalfOpenProbeAndExponentialCooldown(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, 3*time.Second, clk.now)
+	b.allow()
+	b.failure() // threshold 1: opens with 1s cooldown
+
+	if b.allow() {
+		t.Fatal("admitted during cooldown")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("half-open probe not admitted after cooldown")
+	}
+	if st := b.stat("x"); st.state != breakerHalfOpen || st.halfOpened != 1 {
+		t.Fatalf("state = %v (halfOpened=%d), want half-open once", st.state, st.halfOpened)
+	}
+	// Only one probe at a time.
+	if b.allow() {
+		t.Fatal("second concurrent probe admitted in half-open")
+	}
+	b.failure() // probe failed: reopen with doubled cooldown (2s)
+	if st := b.stat("x"); st.state != breakerOpen || st.opened != 2 {
+		t.Fatalf("state = %v (opened=%d), want reopened", st.state, st.opened)
+	}
+	clk.advance(time.Second)
+	if b.allow() {
+		t.Fatal("admitted after 1s; cooldown should have doubled to 2s")
+	}
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted after doubled cooldown")
+	}
+	b.failure() // doubles to 4s but caps at maxCooldown=3s
+	clk.advance(3 * time.Second)
+	if !b.allow() {
+		t.Fatal("probe not admitted after capped cooldown")
+	}
+	b.success()
+	if st := b.stat("x"); st.state != breakerClosed || st.closed != 1 {
+		t.Fatalf("state = %v (closed=%d), want closed after successful probe", st.state, st.closed)
+	}
+	// And a fresh failure streak starts from the base cooldown again.
+	b.allow()
+	b.failure()
+	clk.advance(time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown did not reset to base after close")
+	}
+}
+
+func TestBreakerSetDisabledAndAllOpen(t *testing.T) {
+	if s := newBreakerSet(0, time.Second, time.Second, nil); s != nil {
+		t.Fatal("threshold 0 should disable the set")
+	}
+	var nilSet *breakerSet
+	if nilSet.allOpen() {
+		t.Fatal("nil set reported allOpen")
+	}
+	if b := nilSet.get("x"); !b.allowed() {
+		t.Fatal("nil breaker must always allow")
+	}
+
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s := newBreakerSet(1, time.Second, time.Second, clk.now)
+	if s.allOpen() {
+		t.Fatal("empty set reported allOpen")
+	}
+	a, b := s.get("A"), s.get("B")
+	a.allow()
+	a.failure()
+	if s.allOpen() {
+		t.Fatal("allOpen with one closed breaker")
+	}
+	b.allow()
+	b.failure()
+	if !s.allOpen() {
+		t.Fatal("allOpen false with every breaker open")
+	}
+	stats := s.stats()
+	if len(stats) != 2 || stats[0].algorithm != "A" || stats[1].algorithm != "B" {
+		t.Fatalf("stats = %+v, want sorted A,B", stats)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/binary"
+	"hash/fnv"
 	"math"
 	"sync"
 
@@ -59,6 +60,37 @@ type solveCache struct {
 type cacheEntry struct {
 	key cacheKey
 	val *ScheduleResponse
+	// sum is an integrity checksum over the response content, verified on
+	// every hit so a corrupted entry (bit rot, or the cache_corrupt fault
+	// injection point) is detected and dropped instead of served.
+	sum uint64
+}
+
+// respSum hashes the solve-relevant content of a cached response. Floats
+// hash by IEEE-754 bit pattern, exactly like solveKey.
+func respSum(r *ScheduleResponse) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	putF := func(f float64) { put(math.Float64bits(f)) }
+	h.Write([]byte(r.Algorithm))
+	h.Write([]byte{0})
+	put(uint64(r.Cores))
+	putF(r.Energy)
+	putF(r.BusyTime)
+	putF(r.Makespan)
+	put(uint64(len(r.Segments)))
+	for _, s := range r.Segments {
+		put(uint64(s.Task))
+		put(uint64(s.Core))
+		putF(s.Start)
+		putF(s.End)
+		putF(s.Frequency)
+	}
+	return h.Sum64()
 }
 
 // newSolveCache returns a cache holding up to capacity outcomes; a
@@ -72,18 +104,27 @@ func newSolveCache(capacity int) *solveCache {
 }
 
 // Get returns the cached outcome for key, promoting it to most recent.
-func (c *solveCache) Get(key cacheKey) (*ScheduleResponse, bool) {
+// A hit whose integrity checksum no longer matches is evicted and
+// reported as corrupted (and a miss), so the caller re-solves instead of
+// shipping a damaged schedule.
+func (c *solveCache) Get(key cacheKey) (resp *ScheduleResponse, ok, corrupted bool) {
 	if c.capacity <= 0 {
-		return nil, false
+		return nil, false, false
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	el, ok := c.byKey[key]
-	if !ok {
-		return nil, false
+	el, found := c.byKey[key]
+	if !found {
+		return nil, false, false
+	}
+	e := el.Value.(*cacheEntry)
+	if respSum(e.val) != e.sum {
+		c.order.Remove(el)
+		delete(c.byKey, key)
+		return nil, false, true
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).val, true
+	return e.val, true, false
 }
 
 // Put inserts (or refreshes) the outcome for key, evicting the least
@@ -95,12 +136,14 @@ func (c *solveCache) Put(key cacheKey, val *ScheduleResponse) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	sum := respSum(val)
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).val = val
+		e := el.Value.(*cacheEntry)
+		e.val, e.sum = val, sum
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, val: val, sum: sum})
 	for c.order.Len() > c.capacity {
 		oldest := c.order.Back()
 		c.order.Remove(oldest)
@@ -113,4 +156,32 @@ func (c *solveCache) Len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// Corrupt damages the stored entry for key without updating its
+// checksum — the realization of the cache_corrupt fault-injection
+// point. The entry's value is replaced with a corrupted copy (never
+// mutated in place: earlier Get results share the old segments slice),
+// so the next Get must detect the mismatch. Returns whether an entry
+// was present to corrupt.
+func (c *solveCache) Corrupt(key cacheKey) bool {
+	if c.capacity <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return false
+	}
+	e := el.Value.(*cacheEntry)
+	bad := *e.val
+	bad.Segments = append([]SegmentJSON(nil), e.val.Segments...)
+	if len(bad.Segments) > 0 {
+		bad.Segments[0].Frequency *= 1.75 // silently wrong answer
+	} else {
+		bad.Energy += 1
+	}
+	e.val = &bad
+	return true
 }

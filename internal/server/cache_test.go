@@ -58,23 +58,23 @@ func TestSolveCacheLRU(t *testing.T) {
 	}
 
 	// Touch a so b becomes least recently used, then insert c: b evicts.
-	if _, ok := c.Get(ka); !ok {
+	if _, ok, _ := c.Get(ka); !ok {
 		t.Fatal("a missing")
 	}
 	c.Put(kc, &ScheduleResponse{Algorithm: "c"})
-	if _, ok := c.Get(kb); ok {
+	if _, ok, _ := c.Get(kb); ok {
 		t.Fatal("b should have been evicted")
 	}
-	if v, ok := c.Get(ka); !ok || v.Algorithm != "a" {
+	if v, ok, _ := c.Get(ka); !ok || v.Algorithm != "a" {
 		t.Fatal("a should have survived (it was promoted)")
 	}
-	if v, ok := c.Get(kc); !ok || v.Algorithm != "c" {
+	if v, ok, _ := c.Get(kc); !ok || v.Algorithm != "c" {
 		t.Fatal("c missing")
 	}
 
 	// Refreshing an existing key replaces the value without growing.
 	c.Put(ka, &ScheduleResponse{Algorithm: "a2"})
-	if v, _ := c.Get(ka); v.Algorithm != "a2" {
+	if v, _, _ := c.Get(ka); v.Algorithm != "a2" {
 		t.Fatal("refresh did not replace the value")
 	}
 	if c.Len() != 2 {
@@ -86,7 +86,7 @@ func TestSolveCacheDisabled(t *testing.T) {
 	c := newSolveCache(0)
 	k := solveKey("a", nil, 1, power.Model{Alpha: 2, Gamma: 1})
 	c.Put(k, &ScheduleResponse{})
-	if _, ok := c.Get(k); ok {
+	if _, ok, _ := c.Get(k); ok {
 		t.Fatal("disabled cache returned a hit")
 	}
 	if c.Len() != 0 {

@@ -9,7 +9,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/easched"
 	"repro/internal/check"
+	"repro/internal/fault"
 	"repro/internal/feas"
 	"repro/internal/interval"
 	"repro/internal/power"
@@ -49,15 +51,36 @@ type solveResult struct {
 // worker slot promptly instead of holding it until convergence; the
 // select below additionally unblocks the handler immediately, and the
 // slot is released only when the solver goroutine actually returns.
-func runSolve(ctx context.Context, e check.Entry, ts task.Set, m int, pm power.Model, done func()) solveResult {
+//
+// A panic inside the solver (real or injected) is recovered into a
+// typed error matching easched.ErrSolverPanic — the daemon never
+// crashes on a pathological instance.
+func runSolve(ctx context.Context, in *fault.Injector, e check.Entry, ts task.Set, m int, pm power.Model, done func()) solveResult {
 	ch := make(chan solveResult, 1)
 	go func() {
 		defer done()
 		defer func() {
 			if r := recover(); r != nil {
-				ch <- solveResult{err: fmt.Errorf("solver panic: %v", r)}
+				ch <- solveResult{err: &check.PanicError{Value: r}}
 			}
 		}()
+		if in != nil {
+			if in.Should(fault.SolverPanic) {
+				panic("injected solver panic")
+			}
+			if in.Should(fault.SolverDelay) {
+				t := time.NewTimer(in.Delay())
+				select {
+				case <-t.C:
+				case <-ctx.Done():
+					t.Stop()
+				}
+			}
+			if ferr := in.Err(fault.AllocError); ferr != nil {
+				ch <- solveResult{err: ferr}
+				return
+			}
+		}
 		s, energy, err := e.Run(ctx, ts, m, pm)
 		ch <- solveResult{sched: s, energy: energy, err: err}
 	}()
@@ -69,8 +92,91 @@ func runSolve(ctx context.Context, e check.Entry, ts task.Set, m int, pm power.M
 	}
 }
 
-// solveOne runs the full per-instance pipeline — cache lookup, admission,
-// solve under a per-item timeout, validator guardrail, cache fill — and
+// runVerified pushes one (algorithm, instance) solve through admission,
+// the per-attempt timeout, and the validator guardrail, and reports the
+// outcome with its HTTP-style status. It is the single attempt the
+// fallback chain composes.
+func (s *Server) runVerified(reqCtx context.Context, entry check.Entry, req *ScheduleRequest, pm power.Model) (*schedule.Schedule, float64, int, error) {
+	s.metrics.queueDepth.Observe(float64(s.gate.depth()))
+	ctx := reqCtx
+	if s.cfg.SolveTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
+		defer cancel()
+	}
+	if err := s.gate.acquire(ctx); err != nil {
+		switch {
+		case errors.Is(err, errOverload):
+			s.metrics.overload.Add(1)
+			return nil, 0, http.StatusTooManyRequests,
+				fmt.Errorf("admission queue full, retry later")
+		default:
+			s.metrics.canceled.Add(1)
+			return nil, 0, statusForCtxErr(err),
+				fmt.Errorf("request ended while queued: %w", err)
+		}
+	}
+	// The slot is released by the solve goroutine itself (see runSolve),
+	// so an abandoned solve keeps its worker until it actually returns.
+	s.metrics.solves.Add(1)
+	res := runSolve(ctx, s.faults(), entry, req.Tasks, req.Cores, pm, s.gate.release)
+	if res.err != nil {
+		switch {
+		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
+			s.metrics.canceled.Add(1)
+			return nil, 0, statusForCtxErr(res.err), fmt.Errorf("solve aborted: %w", res.err)
+		case errors.Is(res.err, easched.ErrSolverPanic):
+			s.metrics.solvePanics.Add(1)
+			return nil, 0, statusForSolveErr(res.err), fmt.Errorf("solve failed: %w", res.err)
+		default:
+			s.metrics.solveErrors.Add(1)
+			return nil, 0, statusForSolveErr(res.err), fmt.Errorf("solve failed: %w", res.err)
+		}
+	}
+
+	// Guardrail: never ship a schedule the universal validator rejects.
+	// The validator_reject fault point simulates a guardrail rejection of
+	// a good schedule, exercising the same degradation path.
+	if !s.cfg.DisableVerify {
+		violations := check.Validate(res.sched, req.Tasks, req.Cores, pm)
+		if len(violations) == 0 && s.faults().Should(fault.ValidatorReject) {
+			violations = []check.Violation{{Kind: check.KindEnergy, Task: -1, Detail: "injected validator rejection"}}
+		}
+		if len(violations) > 0 {
+			s.metrics.verifyFailures.Add(1)
+			return nil, 0, http.StatusInternalServerError,
+				fmt.Errorf("produced schedule failed verification: %w: %v (+%d more)",
+					easched.ErrInvalidSchedule, violations[0], len(violations)-1)
+		}
+	}
+	return res.sched, res.energy, http.StatusOK, nil
+}
+
+// fallbackEligible reports whether a failed primary attempt should walk
+// the fallback chain: solver errors, panics, deadline blows, and
+// guardrail rejections are recoverable by re-solving with the baseline;
+// client-side failures (cancellation, overload) are not.
+func fallbackEligible(status int, err error) bool {
+	switch status {
+	case http.StatusTooManyRequests:
+		return false // admission pushback, not an algorithm failure
+	}
+	if errors.Is(err, context.Canceled) {
+		return false // the client is gone
+	}
+	return status >= 500 || status == http.StatusUnprocessableEntity
+}
+
+// breakerCountable reports whether a failed attempt is the algorithm's
+// fault (and should count toward opening its circuit breaker), as
+// opposed to client cancellation or admission pushback.
+func breakerCountable(status int, err error) bool {
+	return fallbackEligible(status, err) && status != http.StatusServiceUnavailable
+}
+
+// solveOne runs the full per-instance pipeline — cache lookup (with
+// integrity check), circuit breaker, admission, solve under a per-item
+// timeout, validator guardrail, fallback chain, cache fill — and
 // returns the response (and the realized schedule when freshly solved)
 // or an HTTP-style status and error. Shared by POST /v1/schedule and
 // each item of POST /v1/schedule/batch.
@@ -88,74 +194,139 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 			fmt.Errorf("unknown algorithm %q (have %v)", req.Algorithm, check.Names())
 	}
 
+	// Transient-I/O fault point: a retryable 503, upstream of everything.
+	if ferr := s.faults().Err(fault.IOError); ferr != nil {
+		return nil, nil, http.StatusServiceUnavailable,
+			fmt.Errorf("transient backend error: %w", ferr)
+	}
+
 	key := solveKey(req.Algorithm, req.Tasks, req.Cores, pm)
-	if cached, ok := s.cache.Get(key); ok {
+	if s.faults().Should(fault.CacheCorrupt) {
+		s.cache.Corrupt(key)
+	}
+	if cached, ok, corrupted := s.cache.Get(key); ok {
 		s.metrics.cacheHits.Add(1)
 		resp := *cached // shallow copy; Segments slice is shared read-only
 		resp.Cached = true
 		return &resp, nil, http.StatusOK, nil
+	} else if corrupted {
+		// Detected corruption degrades to a re-solve, never to a wrong
+		// answer: the entry was dropped, so this is now a clean miss.
+		s.metrics.cacheCorruptions.Add(1)
 	}
 	s.metrics.cacheMisses.Add(1)
 
-	// Admission: observe the queue depth this request sees, then wait for
-	// a worker slot (or bail out on overload / client death).
-	s.metrics.queueDepth.Observe(float64(s.gate.depth()))
-	ctx := reqCtx
-	if s.cfg.SolveTimeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.cfg.SolveTimeout)
-		defer cancel()
-	}
-	if err := s.gate.acquire(ctx); err != nil {
-		switch {
-		case errors.Is(err, errOverload):
-			s.metrics.overload.Add(1)
-			return nil, nil, http.StatusTooManyRequests,
-				fmt.Errorf("admission queue full, retry later")
-		default:
-			s.metrics.canceled.Add(1)
-			return nil, nil, statusForCtxErr(err),
-				fmt.Errorf("request ended while queued: %w", err)
+	// Primary attempt, guarded by the algorithm's circuit breaker.
+	br := s.breakers.get(req.Algorithm)
+	var primaryErr error
+	primaryStatus := http.StatusOK
+	if br.allowed() {
+		sched, energy, status, err := s.runVerified(reqCtx, entry, req, pm)
+		if err == nil {
+			br.onSuccess()
+			resp := &ScheduleResponse{
+				Version:   wire.Version,
+				Algorithm: req.Algorithm,
+				Cores:     req.Cores,
+				Energy:    energy,
+				BusyTime:  sched.BusyTime(),
+				Makespan:  sched.Makespan(),
+				Verified:  !s.cfg.DisableVerify,
+				Segments:  segmentsJSON(sched),
+			}
+			s.cache.Put(key, resp)
+			out := *resp
+			return &out, sched, http.StatusOK, nil
 		}
-	}
-	// The slot is released by the solve goroutine itself (see runSolve),
-	// so an abandoned solve keeps its worker until it actually returns.
-	s.metrics.solves.Add(1)
-	res := runSolve(ctx, entry, req.Tasks, req.Cores, pm, s.gate.release)
-	if res.err != nil {
-		switch {
-		case errors.Is(res.err, context.DeadlineExceeded), errors.Is(res.err, context.Canceled):
-			s.metrics.canceled.Add(1)
-			return nil, nil, statusForCtxErr(res.err), fmt.Errorf("solve aborted: %w", res.err)
-		default:
-			s.metrics.solveErrors.Add(1)
-			return nil, nil, http.StatusUnprocessableEntity, fmt.Errorf("solve failed: %w", res.err)
+		if breakerCountable(status, err) {
+			br.onFailure()
 		}
+		if !fallbackEligible(status, err) {
+			return nil, nil, status, err
+		}
+		primaryStatus, primaryErr = status, err
+	} else {
+		s.metrics.breakerDenials.Add(1)
+		primaryStatus = http.StatusServiceUnavailable
+		primaryErr = fmt.Errorf("circuit breaker open for algorithm %q", req.Algorithm)
 	}
 
-	// Guardrail: never ship a schedule the universal validator rejects.
-	if !s.cfg.DisableVerify {
-		if violations := check.Validate(res.sched, req.Tasks, req.Cores, pm); len(violations) > 0 {
-			s.metrics.verifyFailures.Add(1)
-			return nil, nil, http.StatusInternalServerError,
-				fmt.Errorf("produced schedule failed verification: %v (+%d more)",
-					violations[0], len(violations)-1)
-		}
+	// Fallback chain: requested algorithm failed (or its breaker is
+	// open); re-solve with the configured always-feasible baseline so a
+	// valid schedule is served whenever one exists. Degraded responses
+	// are not cached: the primary may recover, and its cache key must
+	// not pin the baseline's answer.
+	fb := s.fallbackEntry(req.Algorithm)
+	if fb == nil {
+		return nil, nil, primaryStatus, primaryErr
 	}
-
+	if !s.breakers.get(fb.Name).allowed() {
+		s.metrics.breakerDenials.Add(1)
+		s.metrics.fallbackFailures.Add(1)
+		return nil, nil, http.StatusServiceUnavailable,
+			fmt.Errorf("%v; fallback %q breaker open", primaryErr, fb.Name)
+	}
+	sched, energy, status, err := s.runVerified(reqCtx, *fb, req, pm)
+	if err != nil {
+		if breakerCountable(status, err) {
+			s.breakers.get(fb.Name).onFailure()
+		}
+		s.metrics.fallbackFailures.Add(1)
+		return nil, nil, http.StatusServiceUnavailable,
+			fmt.Errorf("%v; fallback %q also failed: %v", primaryErr, fb.Name, err)
+	}
+	s.breakers.get(fb.Name).onSuccess()
+	s.metrics.degraded.Add(1)
+	s.cfg.Logger.Printf("msg=%q algorithm=%q fallback=%q cause=%q",
+		"degraded response", req.Algorithm, fb.Name, primaryErr)
 	resp := &ScheduleResponse{
-		Version:   wire.Version,
-		Algorithm: req.Algorithm,
-		Cores:     req.Cores,
-		Energy:    res.energy,
-		BusyTime:  res.sched.BusyTime(),
-		Makespan:  res.sched.Makespan(),
-		Verified:  !s.cfg.DisableVerify,
-		Segments:  segmentsJSON(res.sched),
+		Version:           wire.Version,
+		Algorithm:         req.Algorithm,
+		Cores:             req.Cores,
+		Energy:            energy,
+		BusyTime:          sched.BusyTime(),
+		Makespan:          sched.Makespan(),
+		Verified:          !s.cfg.DisableVerify,
+		Segments:          segmentsJSON(sched),
+		Degraded:          true,
+		FallbackAlgorithm: fb.Name,
 	}
-	s.cache.Put(key, resp)
-	out := *resp
-	return &out, res.sched, http.StatusOK, nil
+	return resp, sched, http.StatusOK, nil
+}
+
+// fallbackEntry resolves the configured fallback algorithm, or nil when
+// the chain is disabled or would re-run the algorithm that just failed.
+func (s *Server) fallbackEntry(requested string) *check.Entry {
+	name := s.cfg.FallbackAlgorithm
+	if name == "" || name == FallbackNone || name == requested {
+		return nil
+	}
+	e, ok := check.Lookup(name)
+	if !ok {
+		return nil
+	}
+	return &e
+}
+
+// statusForSolveErr maps the easched error taxonomy to HTTP statuses:
+// infeasible instances are the client's problem (422), deadline blows
+// are 504, panics and invalid schedules are server faults (500), and
+// unclassified solver errors remain 422 (unprocessable instance).
+func statusForSolveErr(err error) int {
+	switch {
+	case errors.Is(err, easched.ErrInfeasible):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, easched.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, easched.ErrSolverPanic):
+		return http.StatusInternalServerError
+	case errors.Is(err, easched.ErrInvalidSchedule):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
 }
 
 // handleSchedule serves POST /v1/schedule.
@@ -355,17 +526,32 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, AlgorithmsResponse{Algorithms: check.Names()})
 }
 
-// handleHealthz serves GET /healthz; 503 while draining so load
-// balancers stop routing here during shutdown.
+// handleHealthz serves GET /healthz: pure liveness. It answers 200 as
+// long as the process is serving at all — even while draining — so
+// orchestrators don't kill a daemon that is finishing in-flight work.
+// Routing decisions belong to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.draining.Load() {
-		writeError(w, http.StatusServiceUnavailable, "draining")
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"algorithms": len(check.Names()),
 	})
+}
+
+// handleReadyz serves GET /readyz: drain-aware readiness. 503 once
+// shutdown begins (load balancers stop routing before in-flight work is
+// cut off) or when every known algorithm breaker is open (nothing can
+// currently be served).
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		retryAfter(w, 1)
+		writeError(w, http.StatusServiceUnavailable, "draining")
+	case s.breakers.allOpen():
+		retryAfter(w, 1)
+		writeError(w, http.StatusServiceUnavailable, "all circuit breakers open")
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+	}
 }
 
 // handleMetrics serves GET /metrics as expvar-style text.

@@ -7,6 +7,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fault"
 )
 
 // latencyBucketsMS are the upper bounds (in milliseconds) of the request
@@ -98,8 +100,15 @@ type Metrics struct {
 	draining atomic.Int64 // 503 rejections (shutdown in progress)
 
 	// Cache accounting.
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
+	cacheHits        atomic.Int64
+	cacheMisses      atomic.Int64
+	cacheCorruptions atomic.Int64 // checksum mismatches detected on Get
+
+	// Robustness accounting.
+	solvePanics      atomic.Int64 // solver panics recovered into errors
+	degraded         atomic.Int64 // responses served by the fallback chain
+	fallbackFailures atomic.Int64 // fallback chain exhausted (503 served)
+	breakerDenials   atomic.Int64 // requests denied by an open breaker
 
 	// Histograms.
 	latencyMS  *histogram // end-to-end /v1/schedule handling time
@@ -107,6 +116,10 @@ type Metrics struct {
 
 	// queueNow is sampled live from the admission gate at scrape time.
 	queueNow func() int64
+	// breakerStats / faultCounts are sampled live at scrape time; either
+	// may be nil (breakers disabled, no fault injector active).
+	breakerStats func() []breakerStat
+	faultCounts  func() []fault.Count
 }
 
 func newMetrics(queueNow func() int64) *Metrics {
@@ -163,6 +176,24 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "schedd_cache_hits_total %d\n", m.cacheHits.Load())
 	fmt.Fprintf(w, "schedd_cache_misses_total %d\n", m.cacheMisses.Load())
 	fmt.Fprintf(w, "schedd_cache_hit_rate %s\n", fmtFloat(m.CacheHitRate()))
+	fmt.Fprintf(w, "schedd_cache_corruptions_detected_total %d\n", m.cacheCorruptions.Load())
+	fmt.Fprintf(w, "schedd_solve_panics_total %d\n", m.solvePanics.Load())
+	fmt.Fprintf(w, "schedd_degraded_responses_total %d\n", m.degraded.Load())
+	fmt.Fprintf(w, "schedd_fallback_failures_total %d\n", m.fallbackFailures.Load())
+	fmt.Fprintf(w, "schedd_breaker_denials_total %d\n", m.breakerDenials.Load())
+	if m.breakerStats != nil {
+		for _, st := range m.breakerStats() {
+			fmt.Fprintf(w, "schedd_breaker_state{algorithm=%q} %d\n", st.algorithm, int(st.state))
+			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"open\"} %d\n", st.algorithm, st.opened)
+			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"half-open\"} %d\n", st.algorithm, st.halfOpened)
+			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"closed\"} %d\n", st.algorithm, st.closed)
+		}
+	}
+	if m.faultCounts != nil {
+		for _, fc := range m.faultCounts() {
+			fmt.Fprintf(w, "schedd_faults_injected_total{point=%q} %d\n", string(fc.Point), fc.Fired)
+		}
+	}
 	if m.queueNow != nil {
 		fmt.Fprintf(w, "schedd_queue_depth %d\n", m.queueNow())
 	}

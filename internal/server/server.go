@@ -15,9 +15,19 @@
 //	POST /v1/schedule/batch  solve independent instances across the pool
 //	POST /v1/feasible        max-flow feasibility + minimal uniform speed
 //	GET  /v1/algorithms      registered algorithm names
-//	GET  /healthz            liveness (503 while draining)
+//	GET  /healthz            liveness (always 200 while the process runs)
+//	GET  /readyz             readiness (503 once draining or all breakers open)
 //	GET  /metrics            expvar-style text metrics
 //	     /debug/pprof/*      runtime profiles
+//
+// Robustness: solver panics are recovered into typed errors, every
+// registered algorithm sits behind a consecutive-failure circuit
+// breaker with exponential half-open probes, and failed solves walk a
+// fallback chain (requested algorithm → always-feasible baseline →
+// 503) so a valid schedule is served whenever one exists; degraded
+// responses carry degraded:true plus the fallback algorithm name. The
+// internal/fault injection points (off by default) chaos-test all of
+// it — see `make chaos`.
 package server
 
 import (
@@ -30,6 +40,9 @@ import (
 	"runtime"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/fallback"
+	"repro/internal/fault"
 )
 
 // Config tunes the service. The zero value is usable: sensible defaults
@@ -57,7 +70,30 @@ type Config struct {
 	GraceTimeout time.Duration
 	// Logger receives one structured line per request; nil discards.
 	Logger *log.Logger
+
+	// FallbackAlgorithm is the always-feasible baseline the fallback
+	// chain re-solves with when the requested algorithm fails (error,
+	// panic, deadline blow, invalid schedule, open breaker). Empty
+	// selects the default (fallback.Name, "MaxFreq"); FallbackNone
+	// disables the chain.
+	FallbackAlgorithm string
+	// BreakerThreshold is the consecutive-failure count that opens an
+	// algorithm's circuit breaker (default 5; negative disables
+	// breakers).
+	BreakerThreshold int
+	// BreakerCooldown is the initial open-state cooldown before a
+	// half-open probe (default 2s); each failed probe doubles it up to
+	// BreakerMaxCooldown (default 30s).
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// Faults optionally injects failures for chaos testing (nil: use the
+	// process-wide injector from internal/fault, itself nil — off — by
+	// default).
+	Faults *fault.Injector
 }
+
+// FallbackNone disables the graceful-degradation fallback chain.
+const FallbackNone = "none"
 
 func (c Config) withDefaults() Config {
 	if c.Addr == "" {
@@ -90,15 +126,28 @@ func (c Config) withDefaults() Config {
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)
 	}
+	if c.FallbackAlgorithm == "" {
+		c.FallbackAlgorithm = fallback.Name
+	}
+	if c.BreakerThreshold == 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 2 * time.Second
+	}
+	if c.BreakerMaxCooldown <= 0 {
+		c.BreakerMaxCooldown = 30 * time.Second
+	}
 	return c
 }
 
 // Server is the scheduling service: handlers plus the admission gate,
-// solve cache, and metrics they share.
+// solve cache, per-algorithm circuit breakers, and metrics they share.
 type Server struct {
 	cfg      Config
 	gate     *gate
 	cache    *solveCache
+	breakers *breakerSet
 	metrics  *Metrics
 	mux      *http.ServeMux
 	draining atomic.Bool
@@ -108,18 +157,22 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		gate:  newGate(cfg.Workers, cfg.Queue),
-		cache: newSolveCache(cfg.CacheSize),
-		mux:   http.NewServeMux(),
+		cfg:      cfg,
+		gate:     newGate(cfg.Workers, cfg.Queue),
+		cache:    newSolveCache(cfg.CacheSize),
+		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, nil),
+		mux:      http.NewServeMux(),
 	}
 	s.metrics = newMetrics(s.gate.depth)
+	s.metrics.breakerStats = s.breakers.stats
+	s.metrics.faultCounts = func() []fault.Count { return s.faults().Counts() }
 
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("/v1/feasible", s.handleFeasible)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -131,6 +184,16 @@ func New(cfg Config) *Server {
 
 // Metrics exposes the server's counters (used by tests and cmd/schedd).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// faults returns the fault injector in effect: the per-server one when
+// configured (tests), else the process-wide registry (cmd/schedd's
+// -faults flag), else nil — injection off, the default.
+func (s *Server) faults() *fault.Injector {
+	if s.cfg.Faults != nil {
+		return s.cfg.Faults
+	}
+	return fault.Active()
+}
 
 // Handler returns the full HTTP handler with request accounting and
 // structured logging wrapped around every route.

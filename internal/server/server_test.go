@@ -256,7 +256,7 @@ func TestCacheHitVsMiss(t *testing.T) {
 }
 
 func TestOverloadReturns429(t *testing.T) {
-	srv, hs := newTestServer(t, Config{Workers: 1, Queue: -1, SolveTimeout: -1})
+	srv, hs := newTestServer(t, Config{Workers: 1, Queue: -1, SolveTimeout: -1, FallbackAlgorithm: FallbackNone})
 	ts := sectionVD(t)
 
 	// Occupy the single worker with the blocking solver.
@@ -290,7 +290,7 @@ func TestOverloadReturns429(t *testing.T) {
 }
 
 func TestCancellationMidSolve(t *testing.T) {
-	srv, hs := newTestServer(t, Config{Workers: 1, SolveTimeout: 50 * time.Millisecond})
+	srv, hs := newTestServer(t, Config{Workers: 1, SolveTimeout: 50 * time.Millisecond, FallbackAlgorithm: FallbackNone})
 	started := make(chan struct{})
 	go func() {
 		<-testBlockStarted // solver is running when the deadline fires
@@ -313,7 +313,7 @@ func TestCancellationMidSolve(t *testing.T) {
 }
 
 func TestVerifyGuardrail(t *testing.T) {
-	srv, hs := newTestServer(t, Config{})
+	srv, hs := newTestServer(t, Config{FallbackAlgorithm: FallbackNone})
 	resp, body := postJSON(t, hs.URL+"/v1/schedule", scheduleBody(t, "test-broken", sectionVD(t), 4))
 	if resp.StatusCode != http.StatusInternalServerError {
 		t.Fatalf("status %d, want 500: %s", resp.StatusCode, body)
@@ -459,13 +459,25 @@ func TestDrainingRejectsWithRetryAfter(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("503 without Retry-After")
 	}
+	// Liveness stays green while draining; readiness goes red.
 	hr, err := http.Get(hs.URL + "/healthz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	hr.Body.Close()
-	if hr.StatusCode != http.StatusServiceUnavailable {
-		t.Fatalf("healthz while draining = %d, want 503", hr.StatusCode)
+	if hr.StatusCode != http.StatusOK {
+		t.Fatalf("healthz while draining = %d, want 200 (liveness)", hr.StatusCode)
+	}
+	rr, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz while draining = %d, want 503", rr.StatusCode)
+	}
+	if rr.Header.Get("Retry-After") == "" {
+		t.Fatal("readyz 503 without Retry-After")
 	}
 }
 

@@ -77,6 +77,14 @@ type ScheduleResponse struct {
 	Segments []SegmentJSON `json:"segments"`
 	// ElapsedMS is the server-side solve (or cache-lookup) time.
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Degraded is true when the requested algorithm failed and the
+	// schedule was produced by the server's fallback chain instead; the
+	// schedule is still fully valid, just not energy-optimized by the
+	// algorithm that was asked for.
+	Degraded bool `json:"degraded,omitempty"`
+	// FallbackAlgorithm names the algorithm that actually produced a
+	// degraded response (set exactly when Degraded is true).
+	FallbackAlgorithm string `json:"fallback_algorithm,omitempty"`
 }
 
 // BatchRequest is the body of POST /v1/schedule/batch: independent

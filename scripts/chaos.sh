@@ -1,0 +1,99 @@
+#!/bin/sh
+# chaos.sh — fault-injection soak for the schedd serving stack.
+#
+# Builds cmd/schedd and cmd/schedload, starts the daemon with every
+# fault-injection point firing (aggregate rate well above 10%), drives a
+# validating closed-loop load against it, and asserts the robustness
+# contract:
+#
+#   1. the daemon never crashes;
+#   2. every 200 response passes the client-side universal validator
+#      (schedload exits nonzero on any validator failure);
+#   3. injected faults actually fired and breaker activity is visible
+#      in /metrics;
+#   4. the daemon still drains cleanly on SIGTERM afterwards.
+#
+# Env knobs: CHAOS_DURATION (default 10s), CHAOS_SEED (42),
+# CHAOS_PORT (18321), CHAOS_BUILDFLAGS (e.g. -race), GO (go).
+set -eu
+
+GO="${GO:-go}"
+DURATION="${CHAOS_DURATION:-10s}"
+SEED="${CHAOS_SEED:-42}"
+PORT="${CHAOS_PORT:-18321}"
+BUILDFLAGS="${CHAOS_BUILDFLAGS:-}"
+FAULTS="solver_panic=0.05,solver_delay=0.05,alloc_error=0.05,cache_corrupt=0.10,validator_reject=0.05,io_error=0.05"
+
+workdir="$(mktemp -d)"
+server_pid=""
+cleanup() {
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "chaos: building (flags: ${BUILDFLAGS:-none})"
+# shellcheck disable=SC2086
+$GO build $BUILDFLAGS -o "$workdir/schedd" ./cmd/schedd
+# shellcheck disable=SC2086
+$GO build $BUILDFLAGS -o "$workdir/schedload" ./cmd/schedload
+
+echo "chaos: starting schedd on :$PORT with faults $FAULTS (seed=$SEED)"
+"$workdir/schedd" -addr "127.0.0.1:$PORT" -quiet \
+    -faults "$FAULTS" -fault-seed "$SEED" -fault-delay 20ms \
+    -breaker-threshold 5 -breaker-cooldown 200ms -breaker-max-cooldown 2s \
+    2>"$workdir/schedd.log" &
+server_pid=$!
+
+base="http://127.0.0.1:$PORT"
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "chaos: FAIL: schedd never became healthy" >&2
+        cat "$workdir/schedd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "chaos: soaking for $DURATION"
+# -tolerate-errors: exhausted-retry HTTP errors are within budget under
+# injected faults; validator failures still exit nonzero, and that is
+# the invariant this soak exists to enforce.
+"$workdir/schedload" -addr "$base" -duration "$DURATION" -c 8 \
+    -retries 4 -tolerate-errors -seed "$SEED" | tee "$workdir/load.out"
+
+if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "chaos: FAIL: schedd crashed during the soak" >&2
+    cat "$workdir/schedd.log" >&2
+    exit 1
+fi
+if ! grep -q "requests:.* 0 validator failures" "$workdir/load.out"; then
+    echo "chaos: FAIL: validator failures in served schedules" >&2
+    exit 1
+fi
+
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -E "schedd_faults_injected_total|schedd_breaker_|schedd_degraded|schedd_solve_panics|schedd_cache_corruptions|schedd_fallback" \
+    || { echo "chaos: FAIL: robustness metrics missing from /metrics" >&2; exit 1; }
+if ! echo "$metrics" | grep -q 'schedd_faults_injected_total{point="solver_panic"} [1-9]'; then
+    echo "chaos: FAIL: no solver panics were injected — soak proved nothing" >&2
+    exit 1
+fi
+
+echo "chaos: draining schedd"
+kill -TERM "$server_pid"
+i=0
+while kill -0 "$server_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "chaos: FAIL: schedd did not exit after SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+server_pid=""
+echo "chaos: PASS — no crashes, no invalid schedules served"
