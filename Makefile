@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke chaos vulncheck ci serve loadtest bench bench-smoke clean
+.PHONY: all vet build test race fuzz-smoke chaos vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
 
 all: build
 
@@ -37,7 +37,31 @@ vulncheck:
 		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet build test race fuzz-smoke vulncheck
+ci: vet build test race fuzz-smoke conform-smoke cover vulncheck
+
+# Full metamorphic conformance matrix (nightly soak): every registered
+# scheduler × every generator regime × every relation, with minimized
+# reproducers fed back into the fuzz corpus. Zero violations expected.
+CONFORM_INSTANCES ?= 10000
+CONFORM_SEED ?= 1
+conform:
+	$(GO) run ./cmd/conform -instances $(CONFORM_INSTANCES) -seed $(CONFORM_SEED) \
+		-o conform-report.json -corpus testdata/fuzz/FuzzSchedulers
+
+# Small PR-time conformance matrix under the race detector.
+conform-smoke:
+	$(GO) run -race ./cmd/conform -smoke -o conform-smoke.json
+
+# Coverage gate: total statement coverage must not drop below the floor
+# recorded when the gate was introduced (75.1% at the time; floor set
+# slightly under to absorb run-to-run fuzz-seed noise).
+COVER_MIN ?= 74.0
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out ./...
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk "BEGIN {exit !($$total >= $(COVER_MIN))}" || \
+		{ echo "coverage $$total% fell below the $(COVER_MIN)% gate"; exit 1; }
 
 # Run the HTTP scheduling daemon on :8080 (override: make serve ADDR=:9090).
 ADDR ?= :8080
@@ -65,3 +89,4 @@ bench-smoke:
 
 clean:
 	$(GO) clean ./...
+	rm -f conform-report.json conform-smoke.json cover.out bench-smoke.json

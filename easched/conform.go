@@ -1,0 +1,56 @@
+package easched
+
+import (
+	"context"
+
+	"repro/internal/metamorphic"
+	"repro/internal/task"
+)
+
+// --- Metamorphic conformance (internal/metamorphic) ---
+
+// ConformReport is the outcome of a metamorphic conformance run: per-
+// relation statistics, per-scheduler E/E^opt ratio statistics, and every
+// relation violation found (with minimized reproducer instances when
+// minimization is enabled).
+type ConformReport = metamorphic.Report
+
+// ConformViolation is one metamorphic relation breach.
+type ConformViolation = metamorphic.Violation
+
+// ConformOptions configures Conform; the zero value runs the full
+// relation × generator × scheduler matrix at a default matrix size.
+type ConformOptions = metamorphic.SuiteOptions
+
+// ConformRelations returns the shipped metamorphic relation library —
+// instance transformations paired with provable predicates on how energy
+// must respond (translation invariance, exact scaling laws of
+// p(f) = γf^α + p0, and monotonicity of E^opt in cores, deadlines, work
+// and static power). Each relation's Justification states the
+// mathematical argument.
+func ConformRelations() []metamorphic.Relation { return metamorphic.Relations() }
+
+// ConformRegimes returns the generator zoo the conformance matrix draws
+// from: heavy-overlap, light-overlap, bursty, harmonic, near-zero-laxity
+// and degenerate-singleton workload regimes.
+func ConformRegimes() []task.Regime { return task.Regimes() }
+
+// Conform runs the metamorphic conformance matrix: every registered
+// scheduler (see Algorithms) is exercised over seeded instances from the
+// generator zoo, each paired with transformed follow-up instances, and
+// every relation's predicate is checked with solver-gap-aware tolerances.
+// Where Verify certifies one schedule and CrossCheck one instance,
+// Conform certifies the schedulers' *behavior under change* — the layer
+// that catches systematic suboptimality and silent regressions that
+// per-instance validation cannot.
+//
+// The run is fully deterministic in opts.Seed; any reported violation
+// replays exactly. Violations are returned in the report, not as an
+// error; err is reserved for infrastructure failures (cancellation,
+// solver breakdown, bad options).
+func Conform(ctx context.Context, opts ConformOptions) (*ConformReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return metamorphic.RunSuite(ctx, opts)
+}

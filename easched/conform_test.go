@@ -1,0 +1,59 @@
+package easched_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/easched"
+	"repro/internal/opt"
+)
+
+func TestConformSmallMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("matrix run in -short mode")
+	}
+	rep, err := easched.Conform(context.Background(), easched.ConformOptions{
+		Instances: 12,
+		Seed:      3,
+		MaxTasks:  5,
+		Solver:    opt.Options{MaxIterations: 800, RelGap: 1e-4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.OK() {
+		t.Fatalf("violations:\n%s", rep.Summary())
+	}
+	if rep.Instances != 12 || len(rep.Regimes) == 0 || len(rep.Relations) == 0 {
+		t.Fatalf("report incomplete: %+v", rep)
+	}
+}
+
+func TestConformNilContext(t *testing.T) {
+	rep, err := easched.Conform(nil, easched.ConformOptions{ //nolint:staticcheck // nil ctx is part of the contract
+		Instances: 1, Seed: 9, MaxTasks: 3,
+		Solver:     opt.Options{MaxIterations: 400, RelGap: 1e-3},
+		Schedulers: []string{"S^F2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep == nil {
+		t.Fatal("nil report")
+	}
+}
+
+func TestConformRelationLibraryExposed(t *testing.T) {
+	rels := easched.ConformRelations()
+	if len(rels) < 10 {
+		t.Fatalf("only %d relations exposed", len(rels))
+	}
+	for _, r := range rels {
+		if r.Justification == "" {
+			t.Fatalf("relation %s has no justification", r.Name)
+		}
+	}
+	if len(easched.ConformRegimes()) < 6 {
+		t.Fatalf("generator zoo too small: %v", easched.ConformRegimes())
+	}
+}

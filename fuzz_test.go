@@ -1,26 +1,27 @@
 package repro
 
 // FuzzSchedulers is the differential fuzzing oracle: arbitrary bytes are
-// decoded into a well-formed scheduling instance, every registered
-// scheduler runs on it, and the ensemble is cross-checked against the
-// independent oracles (universal validator, max-flow feasibility,
-// convex optimum, small-instance brute force). Any disagreement is a
-// bug in one of the schedulers or one of the oracles.
+// decoded (internal/fuzzenc) into a well-formed scheduling instance,
+// every registered scheduler runs on it, and the ensemble is
+// cross-checked against the independent oracles (universal validator,
+// max-flow feasibility, convex optimum, small-instance brute force). Any
+// disagreement is a bug in one of the schedulers or one of the oracles.
 //
 // Run the seeds with plain `go test`; explore with
 //
 //	go test -fuzz=FuzzSchedulers -fuzztime=30s .
 //
-// The checked-in corpus lives in testdata/fuzz/FuzzSchedulers.
+// The checked-in corpus lives in testdata/fuzz/FuzzSchedulers; violating
+// instances found by cmd/conform are encoded through the same codec and
+// appended there, so every conformance regression becomes a permanent
+// fuzz seed.
 
 import (
-	"encoding/binary"
 	"testing"
 
 	"repro/internal/check"
+	"repro/internal/fuzzenc"
 	"repro/internal/opt"
-	"repro/internal/power"
-	"repro/internal/task"
 
 	// Schedulers self-register with the cross-check on import.
 	_ "repro/internal/core"
@@ -28,51 +29,6 @@ import (
 	_ "repro/internal/partition"
 	_ "repro/internal/yds"
 )
-
-const (
-	fuzzMaxTasks  = 8
-	fuzzChunkSize = 6
-)
-
-// decodeInstance maps raw bytes onto a valid instance, quantizing every
-// time value to the 1/256 grid so decompositions stay clean:
-//
-//	byte 0: power model — alpha = 2 + (b&3)/2, p0 = ((b>>2)&7)·0.05
-//	byte 1: cores — m = 1 + b%8
-//	then 6-byte chunks, one task each: release u16/256, work u16/256
-//	(floored at 1/256), window u16/256 (floored at 1/2).
-//
-// Returns a nil set when the bytes cannot seed at least one task.
-func decodeInstance(data []byte) (task.Set, int, power.Model) {
-	if len(data) < 2+fuzzChunkSize {
-		return nil, 0, power.Model{}
-	}
-	pm := power.Unit(2+float64(data[0]&3)*0.5, float64((data[0]>>2)&7)*0.05)
-	m := 1 + int(data[1])%8
-	body := data[2:]
-	n := len(body) / fuzzChunkSize
-	if n > fuzzMaxTasks {
-		n = fuzzMaxTasks
-	}
-	ts := make(task.Set, 0, n)
-	for i := 0; i < n; i++ {
-		c := body[i*fuzzChunkSize:]
-		rel := float64(binary.BigEndian.Uint16(c[0:2])) / 256
-		work := float64(binary.BigEndian.Uint16(c[2:4])) / 256
-		if work < 1.0/256 {
-			work = 1.0 / 256
-		}
-		window := float64(binary.BigEndian.Uint16(c[4:6])) / 256
-		if window < 0.5 {
-			window = 0.5
-		}
-		ts = append(ts, task.Task{ID: len(ts), Release: rel, Work: work, Deadline: rel + window})
-	}
-	if err := ts.Validate(); err != nil {
-		return nil, 0, power.Model{}
-	}
-	return ts, m, pm
-}
 
 func FuzzSchedulers(f *testing.F) {
 	// Section V.D worked example (n=6, m=4, p = f³).
@@ -89,7 +45,7 @@ func FuzzSchedulers(f *testing.F) {
 		"\x05\x00\x02\x00\x04\x00\x00\x40\x01\x00\x01\x00"))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		ts, m, pm := decodeInstance(data)
+		ts, m, pm := fuzzenc.Decode(data)
 		if ts == nil {
 			return
 		}

@@ -1,0 +1,57 @@
+package fallback_test
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/fallback"
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+// TestInvalidInstanceRejected covers the decompose error path: the
+// fallback must refuse malformed task sets with a wrapped error, never
+// emit a schedule for them.
+func TestInvalidInstanceRejected(t *testing.T) {
+	cases := map[string]task.Set{
+		"empty set":        {},
+		"deadline<release": {{ID: 0, Release: 5, Work: 1, Deadline: 3}},
+		"zero work":        {{ID: 0, Release: 0, Work: 0, Deadline: 2}},
+	}
+	for name, ts := range cases {
+		t.Run(name, func(t *testing.T) {
+			sched, _, err := fallback.Schedule(context.Background(), ts, 2, power.Unit(3, 0))
+			if err == nil {
+				t.Fatalf("invalid instance accepted: %v", sched)
+			}
+			if !strings.Contains(err.Error(), "fallback:") {
+				t.Fatalf("error %v not wrapped with package prefix", err)
+			}
+		})
+	}
+}
+
+// TestBadCoreCount covers the infeasible-at-any-speed path through the
+// feasibility oracle when the platform has no cores.
+func TestBadCoreCount(t *testing.T) {
+	ts := task.MustNew([3]float64{0, 1, 2})
+	if _, _, err := fallback.Schedule(context.Background(), ts, 0, power.Unit(3, 0)); err == nil {
+		t.Fatal("zero cores accepted")
+	}
+}
+
+// TestRegistryRunSafeOnInvalidInstance pins that the registered runner
+// surfaces the same error through the panic-containing RunSafe wrapper
+// the conformance engine and the serving stack rely on.
+func TestRegistryRunSafeOnInvalidInstance(t *testing.T) {
+	e, ok := check.Lookup(fallback.Name)
+	if !ok {
+		t.Fatalf("%q not registered", fallback.Name)
+	}
+	bad := task.Set{{ID: 0, Release: 1, Work: 2, Deadline: 0}}
+	if _, _, err := e.RunSafe(context.Background(), bad, 2, power.Unit(3, 0)); err == nil {
+		t.Fatal("RunSafe accepted an invalid instance")
+	}
+}

@@ -1,0 +1,124 @@
+// Package fuzzenc is the byte codec shared by the differential fuzz
+// harness (FuzzSchedulers at the repository root) and the conformance
+// engine's corpus feedback: it maps arbitrary bytes onto well-formed
+// scheduling instances and — in the other direction — quantizes an
+// arbitrary instance onto the codec's grid so a violating instance found
+// by cmd/conform can be checked into testdata/fuzz/ and replayed by every
+// future `go test` run.
+//
+// Layout (all time values quantized to the 1/256 grid so decompositions
+// stay clean):
+//
+//	byte 0: power model — alpha = 2 + (b&3)/2, p0 = ((b>>2)&7)·0.05
+//	byte 1: cores — m = 1 + b%8
+//	then 6-byte chunks, one task each: release u16/256, work u16/256
+//	(floored at 1/256), window u16/256 (floored at 1/2).
+package fuzzenc
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+const (
+	// MaxTasks caps decoded instances (brute-force oracles and per-input
+	// fuzz cost stay bounded).
+	MaxTasks = 8
+	// ChunkSize is the byte length of one encoded task.
+	ChunkSize = 6
+)
+
+// Decode maps raw bytes onto a valid instance. Returns a nil set when the
+// bytes cannot seed at least one task.
+func Decode(data []byte) (task.Set, int, power.Model) {
+	if len(data) < 2+ChunkSize {
+		return nil, 0, power.Model{}
+	}
+	pm := power.Unit(2+float64(data[0]&3)*0.5, float64((data[0]>>2)&7)*0.05)
+	m := 1 + int(data[1])%8
+	body := data[2:]
+	n := len(body) / ChunkSize
+	if n > MaxTasks {
+		n = MaxTasks
+	}
+	ts := make(task.Set, 0, n)
+	for i := 0; i < n; i++ {
+		c := body[i*ChunkSize:]
+		rel := float64(binary.BigEndian.Uint16(c[0:2])) / 256
+		work := float64(binary.BigEndian.Uint16(c[2:4])) / 256
+		if work < 1.0/256 {
+			work = 1.0 / 256
+		}
+		window := float64(binary.BigEndian.Uint16(c[4:6])) / 256
+		if window < 0.5 {
+			window = 0.5
+		}
+		ts = append(ts, task.Task{ID: len(ts), Release: rel, Work: work, Deadline: rel + window})
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, 0, power.Model{}
+	}
+	return ts, m, pm
+}
+
+// clamp16 quantizes v·256 into a u16, saturating at the grid edges.
+func clamp16(v float64) uint16 {
+	g := math.Round(v * 256)
+	if g < 0 {
+		g = 0
+	}
+	if g > math.MaxUint16 {
+		g = math.MaxUint16
+	}
+	return uint16(g)
+}
+
+// Encode quantizes an instance onto the codec grid and serializes it.
+// The mapping is lossy by design (the grid is what keeps fuzz inputs
+// well-conditioned): callers that need the exact replayed instance should
+// Decode the result. Instances with more than MaxTasks tasks are
+// truncated; alpha snaps to the nearest of {2, 2.5, 3, 3.5} and p0 to the
+// {0, 0.05, ..., 0.35} ladder.
+func Encode(ts task.Set, m int, pm power.Model) []byte {
+	alphaStep := math.Round((pm.Alpha - 2) * 2)
+	if alphaStep < 0 {
+		alphaStep = 0
+	}
+	if alphaStep > 3 {
+		alphaStep = 3
+	}
+	p0Step := math.Round(pm.P0 / 0.05)
+	if p0Step < 0 {
+		p0Step = 0
+	}
+	if p0Step > 7 {
+		p0Step = 7
+	}
+	if m < 1 {
+		m = 1
+	}
+	n := len(ts)
+	if n > MaxTasks {
+		n = MaxTasks
+	}
+	out := make([]byte, 2+n*ChunkSize)
+	out[0] = byte(alphaStep) | byte(p0Step)<<2
+	out[1] = byte((m - 1) % 8)
+	for i := 0; i < n; i++ {
+		c := out[2+i*ChunkSize:]
+		binary.BigEndian.PutUint16(c[0:2], clamp16(ts[i].Release))
+		binary.BigEndian.PutUint16(c[2:4], clamp16(ts[i].Work))
+		binary.BigEndian.PutUint16(c[4:6], clamp16(ts[i].Deadline-ts[i].Release))
+	}
+	return out
+}
+
+// CorpusEntry renders encoded bytes in the `go test fuzz v1` corpus file
+// format, ready to be written under testdata/fuzz/<FuzzName>/.
+func CorpusEntry(data []byte) []byte {
+	return []byte(fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data))
+}

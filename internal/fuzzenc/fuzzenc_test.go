@@ -1,0 +1,101 @@
+package fuzzenc
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func TestDecodeRejectsShortInputs(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {1}, {1, 2}, make([]byte, 2+ChunkSize-1)} {
+		if ts, _, _ := Decode(data); ts != nil {
+			t.Fatalf("Decode(%v) produced a set from insufficient bytes", data)
+		}
+	}
+}
+
+func TestDecodeAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		data := make([]byte, 2+rng.Intn(10*ChunkSize))
+		rng.Read(data)
+		ts, m, pm := Decode(data)
+		if ts == nil {
+			continue
+		}
+		if err := ts.Validate(); err != nil {
+			t.Fatalf("decoded invalid set from %v: %v", data, err)
+		}
+		if m < 1 || m > 8 {
+			t.Fatalf("decoded cores %d outside [1, 8]", m)
+		}
+		if err := pm.Validate(); err != nil {
+			t.Fatalf("decoded invalid model: %v", err)
+		}
+		if len(ts) > MaxTasks {
+			t.Fatalf("decoded %d tasks, cap is %d", len(ts), MaxTasks)
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTripOnGrid(t *testing.T) {
+	// Instances already on the 1/256 grid survive the round trip exactly.
+	ts := task.MustNew(
+		[3]float64{0, 8, 10},
+		[3]float64{2, 14, 18},
+		[3]float64{4.5, 8.25, 16},
+	)
+	pm := power.Unit(3, 0.1)
+	got, m, gotPM := Decode(Encode(ts, 4, pm))
+	if got == nil || m != 4 {
+		t.Fatalf("round trip lost the instance (m=%d)", m)
+	}
+	if gotPM != pm {
+		t.Fatalf("round trip model %v, want %v", gotPM, pm)
+	}
+	for i := range ts {
+		if got[i] != ts[i] {
+			t.Fatalf("task %d: %v != %v", i, got[i], ts[i])
+		}
+	}
+}
+
+func TestEncodeQuantizesOffGridInstances(t *testing.T) {
+	ts := task.MustNew([3]float64{0.001, 8.0001, 10.77})
+	data := Encode(ts, 23, power.Unit(2.3, 0.11))
+	got, m, pm := Decode(data)
+	if got == nil {
+		t.Fatal("quantized instance did not decode")
+	}
+	if m < 1 || m > 8 {
+		t.Fatalf("cores %d outside codec range", m)
+	}
+	if pm.Alpha != 2.5 || pm.P0 != 0.1 {
+		t.Fatalf("model snapped to %v, want alpha 2.5 p0 0.1", pm)
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeTruncatesLargeSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ts := task.MustGenerate(rng, task.PaperDefaults(20))
+	got, _, _ := Decode(Encode(ts, 4, power.Unit(3, 0)))
+	if len(got) != MaxTasks {
+		t.Fatalf("encoded %d tasks, want truncation to %d", len(got), MaxTasks)
+	}
+}
+
+func TestCorpusEntryFormat(t *testing.T) {
+	entry := CorpusEntry([]byte{0x02, 0x03, 0x00})
+	if !bytes.HasPrefix(entry, []byte("go test fuzz v1\n[]byte(")) {
+		t.Fatalf("corpus entry malformed: %q", entry)
+	}
+	if !bytes.HasSuffix(entry, []byte(")\n")) {
+		t.Fatalf("corpus entry malformed: %q", entry)
+	}
+}

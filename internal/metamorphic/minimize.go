@@ -1,0 +1,66 @@
+package metamorphic
+
+import "context"
+
+// Minimize greedily shrinks a violating instance while the relation still
+// fails on it: it repeatedly tries dropping one task (renumbering) and
+// then lowering the core count, accepting any reduction that preserves at
+// least one violation. The result is a local minimum — removing any
+// single task or core makes the violation disappear — which is what a
+// human debugging the scheduler wants pinned in a report.
+//
+// budget caps the number of relation evaluations (each one solves the
+// instance ensemble twice); 0 means a sensible default.
+func Minimize(ctx context.Context, rel Relation, inst Instance, o Options, budget int) Instance {
+	if budget <= 0 {
+		budget = 120
+	}
+	violates := func(cand Instance) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		if cand.Validate() != nil {
+			return false
+		}
+		base, err := Eval(ctx, cand, o)
+		if err != nil {
+			return false
+		}
+		vs, err := Apply(ctx, rel, cand, base, o)
+		return err == nil && len(vs) > 0
+	}
+
+	cur := inst.Clone()
+	for progress := true; progress && budget > 0; {
+		progress = false
+		// Try dropping each task once per sweep.
+		for i := 0; i < len(cur.Tasks) && len(cur.Tasks) > 1; i++ {
+			cand := cur.Clone()
+			cand.Tasks = append(cand.Tasks[:i], cand.Tasks[i+1:]...)
+			cand.Tasks.Renumber()
+			if violates(cand) {
+				cur = cand
+				progress = true
+				i-- // the next task shifted into slot i
+			}
+			if budget <= 0 {
+				return cur
+			}
+		}
+		// Then try shedding cores.
+		for cur.Cores > 1 {
+			cand := cur.Clone()
+			cand.Cores--
+			if !violates(cand) {
+				break
+			}
+			cur = cand
+			progress = true
+			if budget <= 0 {
+				return cur
+			}
+		}
+	}
+	return cur
+}

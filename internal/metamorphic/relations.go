@@ -1,0 +1,353 @@
+package metamorphic
+
+import (
+	"fmt"
+	"math"
+)
+
+// The relation library. Every relation's Justification (and the comment
+// above its definition) states the mathematical reason the predicate must
+// hold, derived from the paper's model: per-core power p(f) = γ·f^α + p0
+// (α ≥ 2), energy integrated only while cores execute (Section III.B),
+// and the convex program of Section IV.B
+//
+//	min Σ_i ψ_i(A_i)  s.t.  0 ≤ x_{i,j} ≤ ℓ_j,  Σ_i x_{i,j} ≤ m·ℓ_j
+//
+// whose optimal value E^opt lower-bounds every feasible schedule
+// (Theorem 1).
+
+// shiftDelta is deliberately not a round binary number: translation
+// invariance must survive realistic floating-point perturbation, not just
+// exact re-representation.
+const shiftDelta = 137.0
+
+// Relations returns the shipped relation library.
+func Relations() []Relation {
+	return []Relation{
+		timeShift(),
+		uniformScale(),
+		stretchNoLeak(),
+		workScaleNoLeak(),
+		permuteTasks(),
+		addCore(),
+		spareCores(),
+		relaxDeadline(),
+		dropTask(),
+		shrinkWork(),
+		raiseLeakage(),
+	}
+}
+
+// RelationByName returns the named shipped relation.
+func RelationByName(name string) (Relation, bool) {
+	for _, r := range Relations() {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Relation{}, false
+}
+
+// timeShift: shifting every release and deadline by Δ leaves every
+// scheduler's energy and E^opt unchanged.
+//
+// Justification: the model contains no absolute time. Subinterval lengths
+// ℓ_j, windows D_i − R_i, and the energy integral Σ p(f_k)·(t_{k+1}−t_k)
+// (Eq. 7) all depend only on differences of time points, so S ↦ S+Δ is an
+// energy-preserving bijection between the feasible schedules of the two
+// instances.
+func timeShift() Relation {
+	return Relation{
+		Name: "time-shift",
+		Justification: "Shifting all R_i and D_i by Δ is an energy-preserving bijection of feasible " +
+			"schedules: windows, subinterval lengths and the energy integral (Eq. 7) depend only on " +
+			"time differences, never on absolute time.",
+		Transform: func(in Instance) Instance {
+			for i := range in.Tasks {
+				in.Tasks[i].Release += shiftDelta
+				in.Tasks[i].Deadline += shiftDelta
+			}
+			return in
+		},
+		Direction: Equal,
+	}
+}
+
+// uniformScale: scaling all times AND all work by k leaves frequencies
+// unchanged and multiplies energy by exactly k, for any p0.
+//
+// Justification: the map x_{i,j} ↦ k·x_{i,j} is a bijection between
+// feasible schedules (both the window and capacity constraints scale by
+// k). Each execution piece keeps its frequency f = work/time =
+// (k·C)/(k·t), runs k times longer, and consumes p(f)·k·t = k·(p(f)·t) —
+// including the static term, so the law is exact for every p0 ≥ 0.
+func uniformScale() Relation {
+	const k = 2 // a power of two: the scaling is exact even in floating point
+	return Relation{
+		Name: "time-work-scale",
+		Justification: "Scaling every R_i, D_i, C_i by k maps schedules bijectively with frequencies " +
+			"(work/time) unchanged and durations scaled by k, so E = Σ p(f)·t scales by exactly k for " +
+			"any static power p0.",
+		Transform: func(in Instance) Instance {
+			for i := range in.Tasks {
+				in.Tasks[i].Release *= k
+				in.Tasks[i].Deadline *= k
+				in.Tasks[i].Work *= k
+			}
+			return in
+		},
+		Factor:    func(Instance) float64 { return k },
+		Direction: Equal,
+	}
+}
+
+// stretchNoLeak: with p0 = 0, stretching time by c (same work) divides
+// all frequencies by c and energy by c^(α−1).
+//
+// Justification: with p0 = 0 the energy of a piece is γ·C·f^(α−1)
+// (Eq. 7 with p(f) = γf^α). Stretching windows by c maps schedules
+// bijectively with f ↦ f/c, so each term — and the total — scales by
+// c^(1−α). MaxFreq is excluded: its uniform speed is floored at the
+// normalized f = 1, an absolute anchor that intentionally breaks scale
+// covariance (the same reason it is a fallback, not a heuristic).
+func stretchNoLeak() Relation {
+	const c = 2
+	return Relation{
+		Name: "time-stretch-zero-leak",
+		Justification: "With p0 = 0, stretching all windows by c maps schedules bijectively with " +
+			"frequencies divided by c, so each energy term γ·C·f^(α−1) — and E — scales by exactly " +
+			"c^(1−α).",
+		Applicable: func(in Instance) bool { return in.Model.P0 == 0 },
+		Transform: func(in Instance) Instance {
+			for i := range in.Tasks {
+				in.Tasks[i].Release *= c
+				in.Tasks[i].Deadline *= c
+			}
+			return in
+		},
+		Factor:    func(in Instance) float64 { return math.Pow(c, 1-in.Model.Alpha) },
+		Direction: Equal,
+		Excludes:  []string{"MaxFreq"},
+	}
+}
+
+// workScaleNoLeak: with p0 = 0, multiplying all work by c (same windows)
+// multiplies all frequencies by c and energy by c^α.
+//
+// Justification: the bijection keeps execution pieces and scales their
+// frequencies by c, so each term γ·C·f^(α−1) gains a factor c·c^(α−1) =
+// c^α. MaxFreq is excluded for the same absolute-frequency-floor reason
+// as time-stretch-zero-leak.
+func workScaleNoLeak() Relation {
+	const c = 2
+	return Relation{
+		Name: "work-scale-zero-leak",
+		Justification: "With p0 = 0, scaling all C_i by c maps schedules bijectively with frequencies " +
+			"multiplied by c, so each term γ·C·f^(α−1) — and E — scales by exactly c^α.",
+		Applicable: func(in Instance) bool { return in.Model.P0 == 0 },
+		Transform: func(in Instance) Instance {
+			for i := range in.Tasks {
+				in.Tasks[i].Work *= c
+			}
+			return in
+		},
+		Factor:    func(in Instance) float64 { return math.Pow(c, in.Model.Alpha) },
+		Direction: Equal,
+		Excludes:  []string{"MaxFreq"},
+	}
+}
+
+// permuteTasks: reversing the presentation order of the task set changes
+// no scheduler's energy.
+//
+// Justification: the problem is defined on an unordered set of tasks —
+// the decomposition, the allocations of Algorithms 1/2 (shares depend
+// only on each task's own window and DER), YDS's critical intervals and
+// the convex program are all symmetric under relabeling. Two exclusions,
+// both fundamental rather than bugs: Partitioned is a bin-packing
+// heuristic, presentation-order sensitive by design when sort keys tie
+// exactly (the zoo generates exact ties on purpose); and ReplanDER's
+// energy is a function of the executed *trajectory*, not the set — each
+// replanning window's plan is clipped at the next release, so the
+// executed prefix depends on intra-plan segment placement, which follows
+// packing order. The paper makes order-independence claims for neither.
+func permuteTasks() Relation {
+	return Relation{
+		Name: "permute-tasks",
+		Justification: "The instance is an unordered task set: decomposition, DER shares, YDS critical " +
+			"intervals and the convex program are symmetric under relabeling, so task order cannot " +
+			"change any reported energy.",
+		Transform: func(in Instance) Instance {
+			for i, j := 0, len(in.Tasks)-1; i < j; i, j = i+1, j-1 {
+				in.Tasks[i], in.Tasks[j] = in.Tasks[j], in.Tasks[i]
+			}
+			in.Tasks.Renumber()
+			return in
+		},
+		Direction: Equal,
+		Excludes:  []string{"Partitioned", "ReplanDER"},
+	}
+}
+
+// addCore: adding a core never increases E^opt.
+//
+// Justification: in the program of Section IV.B the core count appears
+// only in the capacity constraint Σ_i x_{i,j} ≤ m·ℓ_j. Raising m to m+1
+// relaxes it, so the feasible region grows and the minimum over the
+// superset cannot exceed the minimum over the subset. (Heuristics carry
+// no such guarantee — a greedy allocator may use extra capacity badly —
+// hence OptimumOnly.)
+func addCore() Relation {
+	return Relation{
+		Name: "add-core",
+		Justification: "m appears only in the relaxable capacity constraint Σ_i x_{i,j} ≤ m·ℓ_j " +
+			"(Eq. 15); m+1 enlarges the feasible region, and a minimum over a superset is never larger.",
+		OptimumOnly: true,
+		Transform: func(in Instance) Instance {
+			in.Cores++
+			return in
+		},
+		Direction: NonIncreasing,
+	}
+}
+
+// spareCores: once m ≥ n, further cores change nothing — E^opt (and every
+// scheduler) must give the same energy at m and m+3.
+//
+// Justification: at most n tasks overlap any instant, so with m ≥ n the
+// per-subinterval capacity constraint Σ_i x_{i,j} ≤ m·ℓ_j is implied by
+// the n_j ≤ n ≤ m individual bounds x_{i,j} ≤ ℓ_j and the feasible region
+// stops growing; equivalently, no subinterval is heavily overlapped
+// (n_j > m, Section IV.A) at either core count, so the heuristics'
+// allocation phases see identical inputs.
+func spareCores() Relation {
+	return Relation{
+		Name: "spare-cores",
+		Justification: "With m ≥ n the capacity constraint is implied by the per-task bounds " +
+			"x_{i,j} ≤ ℓ_j (at most n tasks overlap anywhere) and no subinterval is heavily " +
+			"overlapped, so adding further cores changes neither the feasible region nor any " +
+			"heuristic's allocation.",
+		Applicable: func(in Instance) bool { return in.Cores >= len(in.Tasks) },
+		Transform: func(in Instance) Instance {
+			in.Cores += 3
+			return in
+		},
+		Direction: Equal,
+	}
+}
+
+// relaxDeadline: extending one task's deadline never increases E^opt.
+//
+// Justification: enlarging D_i only adds subintervals to task i's
+// eligible set (more x_{i,j} variables may be positive) while every
+// previously feasible x stays feasible, so the feasible region grows and
+// the optimum cannot rise. The transform relaxes the tightest task (max
+// intensity) to move the binding constraint.
+func relaxDeadline() Relation {
+	return Relation{
+		Name: "relax-deadline",
+		Justification: "Extending D_i only enlarges task i's eligible subinterval set; every feasible " +
+			"allocation remains feasible, so the optimum over the grown region cannot increase.",
+		OptimumOnly: true,
+		Transform: func(in Instance) Instance {
+			k := 0
+			for i := range in.Tasks {
+				if in.Tasks[i].Intensity() > in.Tasks[k].Intensity() {
+					k = i
+				}
+			}
+			in.Tasks[k].Deadline += 0.25 * in.Tasks[k].Window()
+			return in
+		},
+		Direction: NonIncreasing,
+	}
+}
+
+// dropTask: removing a task never increases E^opt.
+//
+// Justification: restrict the full instance's optimal allocation to the
+// surviving tasks — it is feasible for the reduced instance (constraints
+// only lose terms) and its objective loses the dropped task's ψ_i ≥ 0, so
+// E^opt(reduced) ≤ E^opt(full).
+func dropTask() Relation {
+	return Relation{
+		Name: "drop-task",
+		Justification: "Restricting the optimal allocation to the surviving tasks stays feasible and " +
+			"sheds the non-negative term ψ_i of the dropped task, so the reduced optimum is no larger.",
+		OptimumOnly: true,
+		Applicable:  func(in Instance) bool { return len(in.Tasks) >= 2 },
+		Transform: func(in Instance) Instance {
+			// Drop the heaviest task (ties: lowest index) — the largest ψ
+			// term, so a monotonicity bug has the most room to show.
+			k := 0
+			for i := range in.Tasks {
+				if in.Tasks[i].Work > in.Tasks[k].Work {
+					k = i
+				}
+			}
+			in.Tasks = append(in.Tasks[:k], in.Tasks[k+1:]...)
+			in.Tasks.Renumber()
+			return in
+		},
+		Direction: NonIncreasing,
+	}
+}
+
+// shrinkWork: halving one task's work never increases E^opt.
+//
+// Justification: the feasible region does not depend on C_i, and
+// ψ_i(A) = min_{a ≤ A} [γ·C_i^α/a^(α−1) + p0·a] is pointwise
+// non-decreasing in C_i, so shrinking C_i lowers the objective at every
+// feasible point and hence its minimum.
+func shrinkWork() Relation {
+	return Relation{
+		Name: "shrink-work",
+		Justification: "C_i enters only the objective: ψ_i(A) = min_{a≤A}[γC_i^α/a^(α−1) + p0·a] is " +
+			"pointwise non-decreasing in C_i, so halving C_i lowers the objective at every feasible " +
+			"point and therefore the optimum.",
+		OptimumOnly: true,
+		Transform: func(in Instance) Instance {
+			k := 0
+			for i := range in.Tasks {
+				if in.Tasks[i].Work > in.Tasks[k].Work {
+					k = i
+				}
+			}
+			in.Tasks[k].Work /= 2
+			return in
+		},
+		Direction: NonIncreasing,
+	}
+}
+
+// raiseLeakage: raising the static power p0 weakly raises E^opt and the
+// critical frequency f*.
+//
+// Justification: for any fixed schedule, E = Σ (γf^α + p0)·t grows
+// pointwise in p0 (busy time t ≥ 0), so the minimum over the unchanged
+// feasible region grows too. The side condition checks the closed form
+// f* = (p0/(γ(α−1)))^(1/α) (Section V, Eq. 19 context), strictly
+// increasing in p0.
+func raiseLeakage() Relation {
+	const dp = 0.1
+	return Relation{
+		Name: "raise-leakage",
+		Justification: "Energy Σ(γf^α + p0)·t is pointwise non-decreasing in p0 over the unchanged " +
+			"feasible region, so E^opt weakly rises; the critical frequency f* = (p0/(γ(α−1)))^(1/α) " +
+			"rises with it.",
+		OptimumOnly: true,
+		Transform: func(in Instance) Instance {
+			in.Model.P0 += dp
+			return in
+		},
+		Direction: NonDecreasing,
+		Extra: func(base, follow Instance) error {
+			fb, ff := base.Model.CriticalFrequency(), follow.Model.CriticalFrequency()
+			if ff < fb {
+				return fmt.Errorf("critical frequency fell from %.9g to %.9g when p0 rose %g → %g",
+					fb, ff, base.Model.P0, follow.Model.P0)
+			}
+			return nil
+		},
+	}
+}

@@ -1,0 +1,160 @@
+package task
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Regime names one workload family of the conformance generator zoo.
+//
+// The paper's evaluation draws every instance from a single uniform model
+// (Section VI); the zoo deliberately stresses the structural extremes
+// that model rarely visits — decompositions with one giant heavy
+// interval, decompositions with none, clustered arrivals, exactly
+// coincident time points, near-zero laxity, and degenerate one-task or
+// identical-task sets — because that is where scheduler and oracle
+// implementations actually disagree.
+type Regime string
+
+const (
+	// RegimeHeavyOverlap packs all releases into a short prefix with long
+	// windows, so almost every subinterval is heavily overlapped (n_j > m)
+	// and the capacity-splitting paths of Algorithm 1/2 dominate.
+	RegimeHeavyOverlap Regime = "heavy-overlap"
+	// RegimeLightOverlap spreads releases far apart with short windows, so
+	// subintervals are lightly overlapped and the heuristics should track
+	// the ideal per-task plan closely.
+	RegimeLightOverlap Regime = "light-overlap"
+	// RegimeBursty clusters releases around a few burst centers,
+	// alternating saturated and idle stretches of the horizon.
+	RegimeBursty Regime = "bursty"
+	// RegimeHarmonic snaps releases to a coarse grid and draws windows
+	// from a power-of-two ladder, producing exactly coincident release and
+	// deadline points that stress the subinterval decomposition.
+	RegimeHarmonic Regime = "harmonic"
+	// RegimeNearZeroLaxity draws intensities just under 1, so every task's
+	// window barely exceeds its work at the normalized top frequency.
+	RegimeNearZeroLaxity Regime = "near-zero-laxity"
+	// RegimeSingleton cycles through degenerate shapes: one task, a few
+	// identical clones, and extreme work scales.
+	RegimeSingleton Regime = "singleton"
+)
+
+// Regimes lists the full zoo in stable order.
+func Regimes() []Regime {
+	return []Regime{
+		RegimeHeavyOverlap,
+		RegimeLightOverlap,
+		RegimeBursty,
+		RegimeHarmonic,
+		RegimeNearZeroLaxity,
+		RegimeSingleton,
+	}
+}
+
+// ParseRegime maps a name to its Regime.
+func ParseRegime(name string) (Regime, error) {
+	for _, r := range Regimes() {
+		if string(r) == name {
+			return r, nil
+		}
+	}
+	return "", fmt.Errorf("task: unknown regime %q (have %v)", name, Regimes())
+}
+
+// GenerateRegime draws an n-task instance of the named regime using the
+// supplied RNG; callers own seeding, so the zoo is fully deterministic.
+// RegimeSingleton ignores n beyond using it to vary its sub-shape.
+func GenerateRegime(rng *rand.Rand, r Regime, n int) (Set, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("task: regime %s needs n > 0, have %d", r, n)
+	}
+	switch r {
+	case RegimeHeavyOverlap:
+		// Releases on [0, 15], intensities on [0.05, 0.3]: windows of
+		// 30-600 time units that all overlap each other.
+		return Generate(rng, GenParams{
+			N: n, ReleaseLo: 0, ReleaseHi: 15,
+			WorkLo: 10, WorkHi: 30,
+			IntensityLo: 0.05, IntensityHi: 0.3,
+		})
+	case RegimeLightOverlap:
+		// Releases ~50 apart with intensities ≥ 0.5 (windows ≤ 60):
+		// adjacent windows touch at most pairwise.
+		s := make(Set, n)
+		for i := range s {
+			rel := float64(i)*50 + uniform(rng, 0, 10)
+			work := uniform(rng, 10, 30)
+			in := uniform(rng, 0.5, 1.0)
+			s[i] = Task{ID: i, Release: rel, Work: work, Deadline: rel + work/in}
+		}
+		return s, s.Validate()
+	case RegimeBursty:
+		// A few burst centers; each task releases a small positive offset
+		// after its center.
+		k := 1 + n/5
+		centers := make([]float64, k)
+		for i := range centers {
+			centers[i] = uniform(rng, 0, 300)
+		}
+		s := make(Set, n)
+		for i := range s {
+			rel := centers[rng.Intn(k)] + rng.ExpFloat64()*3
+			work := uniform(rng, 10, 30)
+			in := uniform(rng, 0.2, 1.0)
+			s[i] = Task{ID: i, Release: rel, Work: work, Deadline: rel + work/in}
+		}
+		return s, s.Validate()
+	case RegimeHarmonic:
+		// Grid releases (multiples of 10) and power-of-two windows
+		// {20, 40, 80, 160}: many exactly coincident time points.
+		s := make(Set, n)
+		for i := range s {
+			rel := float64(rng.Intn(21)) * 10
+			window := 20.0 * float64(int(1)<<rng.Intn(4))
+			in := uniform(rng, 0.1, 1.0)
+			s[i] = Task{ID: i, Release: rel, Work: in * window, Deadline: rel + window}
+		}
+		return s, s.Validate()
+	case RegimeNearZeroLaxity:
+		return Generate(rng, GenParams{
+			N: n, ReleaseLo: 0, ReleaseHi: 200,
+			WorkLo: 10, WorkHi: 30,
+			IntensityLo: 0.9, IntensityHi: 0.999,
+		})
+	case RegimeSingleton:
+		switch rng.Intn(4) {
+		case 0:
+			// One lonely task.
+			rel := uniform(rng, 0, 200)
+			work := uniform(rng, 10, 30)
+			return Set{{ID: 0, Release: rel, Work: work, Deadline: rel + work/uniform(rng, 0.1, 1)}}, nil
+		case 1:
+			// Identical clones: exact window collisions, exact ties.
+			k := 2 + rng.Intn(3)
+			rel := uniform(rng, 0, 100)
+			work := uniform(rng, 10, 30)
+			dl := rel + work/uniform(rng, 0.2, 0.9)
+			s := make(Set, k)
+			for i := range s {
+				s[i] = Task{ID: i, Release: rel, Work: work, Deadline: dl}
+			}
+			return s, s.Validate()
+		case 2:
+			// Tiny work in a huge window: the static-power/critical-
+			// frequency regime.
+			rel := uniform(rng, 0, 10)
+			return Set{{ID: 0, Release: rel, Work: 0.01, Deadline: rel + 500}}, nil
+		default:
+			// Two tasks at wildly different work scales.
+			relA := uniform(rng, 0, 50)
+			relB := uniform(rng, 0, 50)
+			s := Set{
+				{ID: 0, Release: relA, Work: 0.05, Deadline: relA + uniform(rng, 1, 5)},
+				{ID: 1, Release: relB, Work: 500, Deadline: relB + uniform(rng, 600, 900)},
+			}
+			return s, s.Validate()
+		}
+	}
+	return nil, fmt.Errorf("task: unknown regime %q", r)
+}

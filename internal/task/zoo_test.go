@@ -1,0 +1,105 @@
+package task
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZooRegimesProduceValidSets(t *testing.T) {
+	for _, r := range Regimes() {
+		r := r
+		t.Run(string(r), func(t *testing.T) {
+			t.Parallel()
+			for seed := int64(0); seed < 50; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				n := 1 + rng.Intn(14)
+				s, err := GenerateRegime(rng, r, n)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if err := s.Validate(); err != nil {
+					t.Fatalf("seed %d: invalid set: %v", seed, err)
+				}
+				if r != RegimeSingleton && len(s) != n {
+					t.Fatalf("seed %d: got %d tasks, want %d", seed, len(s), n)
+				}
+			}
+		})
+	}
+}
+
+func TestZooIsDeterministic(t *testing.T) {
+	for _, r := range Regimes() {
+		a, err := GenerateRegime(rand.New(rand.NewSource(7)), r, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := GenerateRegime(rand.New(rand.NewSource(7)), r, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: lengths differ", r)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: task %d differs: %v vs %v", r, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestZooRegimeShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	heavy, err := GenerateRegime(rng, RegimeHeavyOverlap, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every heavy-overlap pair of windows intersects: all releases ≤ 15
+	// and every window is at least 10/0.3 > 15 long.
+	lo, _ := heavy.Span()
+	for _, tk := range heavy {
+		if tk.Deadline < lo+15 {
+			t.Fatalf("heavy-overlap window %v too short to overlap the prefix", tk)
+		}
+	}
+
+	light, err := GenerateRegime(rng, RegimeLightOverlap, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Windows at distance ≥ 2 in index never overlap (spacing 50, window ≤ 60).
+	for i := 0; i+2 < len(light); i++ {
+		if light[i].Deadline > light[i+2].Release {
+			t.Fatalf("light-overlap tasks %d and %d overlap: %v %v", i, i+2, light[i], light[i+2])
+		}
+	}
+
+	nzl, err := GenerateRegime(rng, RegimeNearZeroLaxity, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range nzl {
+		if in := tk.Intensity(); in < 0.9 || in > 1 {
+			t.Fatalf("near-zero-laxity intensity %g outside [0.9, 1]", in)
+		}
+	}
+}
+
+func TestParseRegime(t *testing.T) {
+	for _, r := range Regimes() {
+		got, err := ParseRegime(string(r))
+		if err != nil || got != r {
+			t.Fatalf("ParseRegime(%q) = %v, %v", r, got, err)
+		}
+	}
+	if _, err := ParseRegime("no-such-regime"); err == nil {
+		t.Fatal("ParseRegime accepted an unknown name")
+	}
+	if _, err := GenerateRegime(rand.New(rand.NewSource(1)), RegimeBursty, 0); err == nil {
+		t.Fatal("GenerateRegime accepted n = 0")
+	}
+	if _, err := GenerateRegime(rand.New(rand.NewSource(1)), Regime("bogus"), 3); err == nil {
+		t.Fatal("GenerateRegime accepted an unknown regime")
+	}
+}

@@ -1,53 +1,73 @@
 package repro
 
-// Invariance property tests across the whole pipeline. Energy-aware
-// scheduling is translation-invariant (shifting every release and
-// deadline by Δ changes nothing) and respects exact scaling laws under
-// p0 = 0 (stretching time by c divides all frequencies by c and energies
-// by c^(α−1)). Each scheduler in the repository must obey both — a
-// violation would expose hidden absolute-time or absolute-scale
-// dependencies.
+// Invariance property tests across the whole pipeline, driven by the
+// metamorphic relation library (internal/metamorphic). Each relation
+// pairs an instance transformation with a provable predicate — time-shift
+// invariance, the p0 = 0 time/work scaling laws, scale covariance,
+// optimum monotonicity — and the engine applies them to every registered
+// scheduler plus the convex optimum. The transformations and their
+// mathematical justifications live in one place
+// (internal/metamorphic/relations.go); this file only selects instances
+// and relations, so a new relation is automatically exercised here and in
+// cmd/conform without duplicated generator code.
 //
-// Every subtest owns its rng, seeded from the case index, so instances
-// do not depend on sibling execution order and the subtests can run in
+// Every subtest owns its rng, seeded from the case index, so instances do
+// not depend on sibling execution order and the subtests can run in
 // parallel.
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"testing"
 
-	"repro/internal/alloc"
-	"repro/internal/core"
-	"repro/internal/interval"
-	"repro/internal/online"
+	"repro/internal/metamorphic"
 	"repro/internal/opt"
-	"repro/internal/partition"
 	"repro/internal/power"
 	"repro/internal/task"
-	"repro/internal/yds"
+
+	// Schedulers self-register with the cross-check registry on import.
+	_ "repro/internal/core"
+	_ "repro/internal/fallback"
+	_ "repro/internal/online"
+	_ "repro/internal/partition"
+	_ "repro/internal/yds"
 )
 
-func shifted(ts task.Set, delta float64) task.Set {
-	out := ts.Clone()
-	for i := range out {
-		out[i].Release += delta
-		out[i].Deadline += delta
+// invOpts keeps per-test solves quick; the wider duality gap is folded
+// into every optimum-level predicate, so looseness stays sound.
+func invOpts() metamorphic.Options {
+	return metamorphic.Options{
+		Solver: opt.Options{MaxIterations: 1200, RelGap: 1e-5},
+		RelTol: 1e-6,
 	}
-	return out
 }
 
-func timeScaled(ts task.Set, c float64) task.Set {
-	out := ts.Clone()
-	for i := range out {
-		out[i].Release *= c
-		out[i].Deadline *= c
+func mustRelation(t *testing.T, name string) metamorphic.Relation {
+	t.Helper()
+	rel, ok := metamorphic.RelationByName(name)
+	if !ok {
+		t.Fatalf("relation %q not in the library", name)
 	}
-	return out
+	return rel
+}
+
+func checkRelation(t *testing.T, rel metamorphic.Relation, inst metamorphic.Instance) {
+	t.Helper()
+	vs, err := metamorphic.CheckInstance(context.Background(), inst, []metamorphic.Relation{rel}, invOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vs {
+		t.Errorf("violation: %v", v)
+	}
 }
 
 func TestTranslationInvariance(t *testing.T) {
+	// Shifting every release and deadline by Δ changes nothing: every
+	// scheduler in the registry and the convex optimum must report
+	// identical energy on the shifted instance.
+	rel := mustRelation(t, "time-shift")
 	pm := power.Unit(3, 0.1)
 	for trial := 0; trial < 5; trial++ {
 		trial := trial
@@ -55,110 +75,38 @@ func TestTranslationInvariance(t *testing.T) {
 			t.Parallel()
 			rng := rand.New(rand.NewSource(314 + int64(trial)))
 			ts := task.MustGenerate(rng, task.PaperDefaults(12))
-			moved := shifted(ts, 1000)
+			checkRelation(t, rel, metamorphic.Instance{Tasks: ts, Cores: 4, Model: pm})
+		})
+	}
+}
 
-			// The paper's pipelines.
-			for _, method := range []alloc.Method{alloc.Even, alloc.DER} {
-				a := core.MustSchedule(ts, 4, pm, method, core.Options{Tolerance: 1e-9})
-				b := core.MustSchedule(moved, 4, pm, method, core.Options{Tolerance: 1e-9})
-				if math.Abs(a.FinalEnergy-b.FinalEnergy) > 1e-9*a.FinalEnergy {
-					t.Errorf("%v final energy not translation invariant: %.10f vs %.10f",
-						method, a.FinalEnergy, b.FinalEnergy)
-				}
-				if math.Abs(a.IntermediateEnergy-b.IntermediateEnergy) > 1e-9*a.IntermediateEnergy {
-					t.Errorf("%v intermediate energy not translation invariant", method)
-				}
-			}
-
-			// The convex solver.
-			da := interval.MustDecompose(ts, 1e-9)
-			db := interval.MustDecompose(moved, 1e-9)
-			sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
-			sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 2000, RelGap: 1e-6})
-			if math.Abs(sa.Energy-sb.Energy) > 1e-6*sa.Energy {
-				t.Errorf("optimal energy not translation invariant: %.8f vs %.8f", sa.Energy, sb.Energy)
-			}
-
-			// YDS and the partitioned baseline.
-			ya, err := yds.Energy(ts, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			yb, err := yds.Energy(moved, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if math.Abs(ya-yb) > 1e-9*ya {
-				t.Errorf("YDS energy not translation invariant")
-			}
-			_, pa, err := partition.Schedule(ts, 3, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			_, pb, err := partition.Schedule(moved, 3, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if math.Abs(pa-pb) > 1e-9*pa {
-				t.Errorf("partitioned energy not translation invariant")
-			}
-
-			// The online scheduler.
-			oa, err := online.ReplanDER(ts, 4, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			ob, err := online.ReplanDER(moved, 4, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if math.Abs(oa.Energy-ob.Energy) > 1e-9*oa.Energy {
-				t.Errorf("online energy not translation invariant")
-			}
+func TestScaleCovariance(t *testing.T) {
+	// Scaling time and work together by k leaves all frequencies unchanged
+	// and scales E by exactly k — for any p0, because both dynamic and
+	// static energy are rates integrated over a k-times-longer horizon.
+	rel := mustRelation(t, "time-work-scale")
+	for trial, p0 := range []float64{0, 0.2} {
+		trial, p0 := trial, p0
+		t.Run(fmt.Sprintf("p0=%g", p0), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(628 + int64(trial)))
+			ts := task.MustGenerate(rng, task.PaperDefaults(10))
+			checkRelation(t, rel, metamorphic.Instance{Tasks: ts, Cores: 4, Model: power.Unit(3, p0)})
 		})
 	}
 }
 
 func TestTimeScalingLawNoStaticPower(t *testing.T) {
 	// With p0 = 0 and windows stretched by c (same work), every schedule's
-	// frequencies divide by c, so energy scales by c^(1−α):
-	// E' = Σ C·(f/c)^(α−1) = E / c^(α−1).
+	// frequencies divide by c, so energy scales by c^(1−α).
+	rel := mustRelation(t, "time-stretch-zero-leak")
 	for i, alpha := range []float64{2, 3} {
 		i, alpha := i, alpha
 		t.Run(fmt.Sprintf("alpha%g", alpha), func(t *testing.T) {
 			t.Parallel()
 			rng := rand.New(rand.NewSource(271 + int64(i)))
-			pm := power.Unit(alpha, 0)
 			ts := task.MustGenerate(rng, task.PaperDefaults(10))
-			const c = 2.5
-			stretched := timeScaled(ts, c)
-			want := math.Pow(c, alpha-1)
-
-			a := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
-			b := core.MustSchedule(stretched, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
-			if ratio := a.FinalEnergy / b.FinalEnergy; math.Abs(ratio-want) > 1e-6*want {
-				t.Errorf("α=%g: F2 scaling ratio %.8f, want %.8f", alpha, ratio, want)
-			}
-
-			ya, err := yds.Energy(ts, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			yb, err := yds.Energy(stretched, pm)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if ratio := ya / yb; math.Abs(ratio-want) > 1e-6*want {
-				t.Errorf("α=%g: YDS scaling ratio %.8f, want %.8f", alpha, ratio, want)
-			}
-
-			da := interval.MustDecompose(ts, 1e-9)
-			db := interval.MustDecompose(stretched, 1e-9)
-			sa := opt.MustSolve(da, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
-			sb := opt.MustSolve(db, 4, pm, opt.Options{MaxIterations: 4000, RelGap: 1e-7})
-			if ratio := sa.Energy / sb.Energy; math.Abs(ratio-want) > 1e-4*want {
-				t.Errorf("α=%g: optimal scaling ratio %.8f, want %.8f", alpha, ratio, want)
-			}
+			checkRelation(t, rel, metamorphic.Instance{Tasks: ts, Cores: 4, Model: power.Unit(alpha, 0)})
 		})
 	}
 }
@@ -166,19 +114,54 @@ func TestTimeScalingLawNoStaticPower(t *testing.T) {
 func TestWorkScalingLawNoStaticPower(t *testing.T) {
 	// With p0 = 0 and all work multiplied by c (same windows), all
 	// frequencies multiply by c and energy scales by c^α.
+	rel := mustRelation(t, "work-scale-zero-leak")
 	t.Parallel()
 	rng := rand.New(rand.NewSource(161))
-	pm := power.Unit(3, 0)
 	ts := task.MustGenerate(rng, task.PaperDefaults(10))
-	const c = 1.7
-	scaled := ts.Clone()
-	for i := range scaled {
-		scaled[i].Work *= c
+	checkRelation(t, rel, metamorphic.Instance{Tasks: ts, Cores: 4, Model: power.Unit(3, 0)})
+}
+
+func TestOptimumMonotonicity(t *testing.T) {
+	// The convex optimum is monotone in the instance: more cores, a looser
+	// deadline, less work, or a dropped task can only help; more static
+	// power can only hurt.
+	pm := power.Unit(2.5, 0.15)
+	for _, name := range []string{"add-core", "relax-deadline", "drop-task", "shrink-work", "raise-leakage"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			rel := mustRelation(t, name)
+			rng := rand.New(rand.NewSource(42))
+			ts := task.MustGenerate(rng, task.PaperDefaults(8))
+			checkRelation(t, rel, metamorphic.Instance{Tasks: ts, Cores: 3, Model: pm})
+		})
 	}
-	want := math.Pow(c, 3)
-	a := core.MustSchedule(ts, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
-	b := core.MustSchedule(scaled, 4, pm, alloc.DER, core.Options{Tolerance: 1e-9})
-	if ratio := b.FinalEnergy / a.FinalEnergy; math.Abs(ratio-want) > 1e-6*want {
-		t.Errorf("work scaling ratio %.8f, want %.8f", ratio, want)
+}
+
+func TestInvarianceAcrossRegimes(t *testing.T) {
+	// One instance from each generator regime through the full relation
+	// library — the same matrix cmd/conform soaks nightly, at spot-check
+	// scale so `go test ./...` exercises every regime × relation pair.
+	if testing.Short() {
+		t.Skip("matrix spot check in -short mode")
+	}
+	for i, regime := range task.Regimes() {
+		i, regime := i, regime
+		t.Run(string(regime), func(t *testing.T) {
+			t.Parallel()
+			rng := rand.New(rand.NewSource(1000 + int64(i)))
+			ts, err := task.GenerateRegime(rng, regime, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			inst := metamorphic.Instance{Tasks: ts, Cores: 1 + i%4, Model: power.Unit(3, float64(i%2)*0.1)}
+			vs, err := metamorphic.CheckInstance(context.Background(), inst, metamorphic.Relations(), invOpts())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range vs {
+				t.Errorf("violation: %v", v)
+			}
+		})
 	}
 }
