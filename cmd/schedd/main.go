@@ -107,6 +107,9 @@ func main() {
 				}
 			}
 		}
+		if seed == 0 {
+			seed = 1 // the documented "-fault-seed 0 = 1" default
+		}
 		fault.Enable(fault.New(fault.Plan{Rates: rates, Seed: seed, Delay: *faultDelay}))
 		fmt.Fprintf(os.Stderr, "schedd: FAULT INJECTION ACTIVE: %s (seed=%d)\n", spec, seed)
 	}

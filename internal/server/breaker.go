@@ -63,30 +63,40 @@ func newBreaker(threshold int, cooldown, maxCooldown time.Duration, now func() t
 	}
 }
 
-// allow reports whether a request for this algorithm may run. A denied
-// request should skip straight to the fallback chain.
-func (b *breaker) allow() bool {
+// admit reports whether a request for this algorithm may run, and
+// whether the admitted request is the single half-open probe. A denied
+// request should skip straight to the fallback chain. A probe holder
+// MUST settle its outcome — success(), failure(), or probeAborted() —
+// or the probe slot stays taken and every later request is denied.
+func (b *breaker) admit() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
 	case breakerClosed:
-		return true
+		return true, false
 	case breakerOpen:
 		if b.now().Before(b.until) {
-			return false
+			return false, false
 		}
 		b.state = breakerHalfOpen
 		b.halfOpened++
 		b.probing = true
-		return true
+		return true, true
 	case breakerHalfOpen:
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
-	return true
+	return true, false
+}
+
+// allow is admit without the probe token, for callers (and tests) that
+// settle every outcome unconditionally.
+func (b *breaker) allow() bool {
+	ok, _ := b.admit()
+	return ok
 }
 
 // success records a completed, valid solve and closes the breaker.
@@ -128,6 +138,20 @@ func (b *breaker) failure() {
 	}
 }
 
+// probeAborted records a half-open probe whose outcome says nothing
+// about the algorithm's health — client cancellation or admission
+// pushback, not a solve verdict. The slot is released by re-opening
+// with the current cooldown unchanged: the next probe runs after the
+// same wait rather than doubling (failure) or closing (success).
+func (b *breaker) probeAborted() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen && b.probing {
+		b.probing = false
+		b.open()
+	}
+}
+
 // open transitions to open using the current b.wait (callers hold mu).
 func (b *breaker) open() {
 	b.state = breakerOpen
@@ -146,8 +170,17 @@ type breakerStat struct {
 func (b *breaker) stat(name string) breakerStat {
 	b.mu.Lock()
 	defer b.mu.Unlock()
+	st := b.state
+	// An open breaker whose cooldown has elapsed is probe-eligible — the
+	// next admit() lets a request through — so observers must not see it
+	// as open: readiness gates on allOpen(), and a balancer honoring a
+	// 503 /readyz would stop sending the very requests that drive the
+	// open→half-open transition, wedging the server unready forever.
+	if st == breakerOpen && !b.now().Before(b.until) {
+		st = breakerHalfOpen
+	}
 	return breakerStat{
-		algorithm: name, state: b.state,
+		algorithm: name, state: st,
 		opened: b.opened, halfOpened: b.halfOpened, closed: b.closed,
 	}
 }
@@ -231,10 +264,15 @@ func (s *breakerSet) allOpen() bool {
 	return n > 0
 }
 
-// allowed is breaker.allow for a possibly-nil breaker.
-func (b *breaker) allowed() bool { return b == nil || b.allow() }
+// allowed is breaker.admit for a possibly-nil breaker.
+func (b *breaker) allowed() (ok, probe bool) {
+	if b == nil {
+		return true, false
+	}
+	return b.admit()
+}
 
-// onSuccess / onFailure are nil-safe bookkeeping helpers.
+// onSuccess / onFailure / onProbeAbort are nil-safe bookkeeping helpers.
 func (b *breaker) onSuccess() {
 	if b != nil {
 		b.success()
@@ -244,5 +282,11 @@ func (b *breaker) onSuccess() {
 func (b *breaker) onFailure() {
 	if b != nil {
 		b.failure()
+	}
+}
+
+func (b *breaker) onProbeAbort() {
+	if b != nil {
+		b.probeAborted()
 	}
 }

@@ -98,6 +98,70 @@ func TestBreakerHalfOpenProbeAndExponentialCooldown(t *testing.T) {
 	}
 }
 
+// TestBreakerProbeAbortReleasesSlot: a half-open probe whose outcome is
+// inconclusive (client cancellation, admission pushback) must release
+// the probe slot by re-opening with the cooldown unchanged — otherwise
+// the stuck `probing` flag would deny the algorithm forever.
+func TestBreakerProbeAbortReleasesSlot(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	b := newBreaker(1, time.Second, 8*time.Second, clk.now)
+	b.allow()
+	b.failure() // threshold 1: opens with 1s cooldown
+	clk.advance(time.Second)
+	ok, probe := b.admit()
+	if !ok || !probe {
+		t.Fatalf("admit after cooldown = (%t,%t), want an admitted probe", ok, probe)
+	}
+	if ok, _ := b.admit(); ok {
+		t.Fatal("second probe admitted while the first is in flight")
+	}
+	b.probeAborted()
+	if st := b.stat("x"); st.state != breakerOpen {
+		t.Fatalf("state after aborted probe = %v, want open", st.state)
+	}
+	if ok, _ := b.admit(); ok {
+		t.Fatal("admitted immediately after an aborted probe; the cooldown should apply")
+	}
+	clk.advance(time.Second) // cooldown unchanged (1s), not doubled as for a failed probe
+	ok, probe = b.admit()
+	if !ok || !probe {
+		t.Fatalf("probe not re-admitted after unchanged cooldown: (%t,%t)", ok, probe)
+	}
+	b.success()
+	if st := b.stat("x"); st.state != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st.state)
+	}
+	b.probeAborted() // no-op outside half-open
+	if st := b.stat("x"); st.state != breakerClosed {
+		t.Fatalf("probeAborted on a closed breaker moved state to %v", st.state)
+	}
+}
+
+// TestBreakerStatReportsElapsedOpenAsHalfOpen: once the cooldown has
+// elapsed an open breaker is probe-eligible, and stat()/allOpen() must
+// say so — a load balancer honoring a 503 /readyz would otherwise never
+// send the request that drives the open->half-open transition.
+func TestBreakerStatReportsElapsedOpenAsHalfOpen(t *testing.T) {
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	s := newBreakerSet(1, time.Second, 8*time.Second, clk.now)
+	b := s.get("only")
+	b.allow()
+	b.failure()
+	if st := b.stat("only"); st.state != breakerOpen {
+		t.Fatalf("state during cooldown = %v, want open", st.state)
+	}
+	if !s.allOpen() {
+		t.Fatal("allOpen false during cooldown")
+	}
+	clk.advance(time.Second)
+	if st := b.stat("only"); st.state != breakerHalfOpen {
+		t.Fatalf("state after cooldown elapsed = %v, want half-open (probe-eligible)", st.state)
+	}
+	if s.allOpen() {
+		t.Fatal("allOpen true after every breaker's cooldown elapsed")
+	}
+}
+
 func TestBreakerSetDisabledAndAllOpen(t *testing.T) {
 	if s := newBreakerSet(0, time.Second, time.Second, nil); s != nil {
 		t.Fatal("threshold 0 should disable the set")
@@ -106,8 +170,8 @@ func TestBreakerSetDisabledAndAllOpen(t *testing.T) {
 	if nilSet.allOpen() {
 		t.Fatal("nil set reported allOpen")
 	}
-	if b := nilSet.get("x"); !b.allowed() {
-		t.Fatal("nil breaker must always allow")
+	if ok, probe := nilSet.get("x").allowed(); !ok || probe {
+		t.Fatal("nil breaker must always allow, never as a probe")
 	}
 
 	clk := &fakeClock{t: time.Unix(0, 0)}

@@ -220,7 +220,7 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	br := s.breakers.get(req.Algorithm)
 	var primaryErr error
 	primaryStatus := http.StatusOK
-	if br.allowed() {
+	if ok, probe := br.allowed(); ok {
 		sched, energy, status, err := s.runVerified(reqCtx, entry, req, pm)
 		if err == nil {
 			br.onSuccess()
@@ -238,8 +238,14 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 			out := *resp
 			return &out, sched, http.StatusOK, nil
 		}
-		if breakerCountable(status, err) {
+		switch {
+		case breakerCountable(status, err):
 			br.onFailure()
+		case probe:
+			// The probe's outcome says nothing about the algorithm
+			// (cancellation / admission pushback): release the slot, or
+			// the stuck `probing` flag would deny this algorithm forever.
+			br.onProbeAbort()
 		}
 		if !fallbackEligible(status, err) {
 			return nil, nil, status, err
@@ -260,7 +266,9 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	if fb == nil {
 		return nil, nil, primaryStatus, primaryErr
 	}
-	if !s.breakers.get(fb.Name).allowed() {
+	fbBr := s.breakers.get(fb.Name)
+	fbOK, fbProbe := fbBr.allowed()
+	if !fbOK {
 		s.metrics.breakerDenials.Add(1)
 		s.metrics.fallbackFailures.Add(1)
 		return nil, nil, http.StatusServiceUnavailable,
@@ -268,14 +276,17 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	}
 	sched, energy, status, err := s.runVerified(reqCtx, *fb, req, pm)
 	if err != nil {
-		if breakerCountable(status, err) {
-			s.breakers.get(fb.Name).onFailure()
+		switch {
+		case breakerCountable(status, err):
+			fbBr.onFailure()
+		case fbProbe:
+			fbBr.onProbeAbort()
 		}
 		s.metrics.fallbackFailures.Add(1)
 		return nil, nil, http.StatusServiceUnavailable,
 			fmt.Errorf("%v; fallback %q also failed: %v", primaryErr, fb.Name, err)
 	}
-	s.breakers.get(fb.Name).onSuccess()
+	fbBr.onSuccess()
 	s.metrics.degraded.Add(1)
 	s.cfg.Logger.Printf("msg=%q algorithm=%q fallback=%q cause=%q",
 		"degraded response", req.Algorithm, fb.Name, primaryErr)

@@ -275,6 +275,74 @@ func TestStatusForSolveErr(t *testing.T) {
 	}
 }
 
+// TestCanceledProbeDoesNotWedgeBreaker reproduces the probe-slot leak:
+// the single half-open probe is canceled by the client (a non-countable
+// outcome, so onFailure never runs). The breaker must release the probe
+// slot and admit a later probe once the cooldown elapses, rather than
+// denying the algorithm forever.
+func TestCanceledProbeDoesNotWedgeBreaker(t *testing.T) {
+	srv, _ := newTestServer(t, Config{BreakerThreshold: 1})
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	srv.breakers = newBreakerSet(1, time.Second, 8*time.Second, clk.now)
+
+	br := srv.breakers.get("S^F2")
+	br.allow()
+	br.failure() // threshold 1: opens with 1s cooldown
+	clk.advance(time.Second)
+
+	canceled, cancel := context.WithCancel(context.Background())
+	cancel()
+	req := &ScheduleRequest{
+		Algorithm: "S^F2", Cores: 3,
+		Model: ModelJSON{Alpha: 3, P0: 0.05},
+		Tasks: sectionVD(t),
+	}
+	if _, _, code, err := srv.solveOne(canceled, req); err == nil || code != http.StatusServiceUnavailable {
+		t.Fatalf("canceled probe: code=%d err=%v, want 503", code, err)
+	}
+	if st := br.stat("S^F2"); st.state != breakerOpen {
+		t.Fatalf("state after canceled probe = %v, want open (slot released)", st.state)
+	}
+	clk.advance(time.Second) // the abort keeps the cooldown unchanged
+	if _, _, code, err := srv.solveOne(context.Background(), req); err != nil {
+		t.Fatalf("probe after aborted probe failed: code=%d err=%v", code, err)
+	}
+	if st := br.stat("S^F2"); st.state != breakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", st.state)
+	}
+}
+
+// TestReadyzRecoversAfterCooldown: /readyz must stop reporting 503 once
+// every open breaker's cooldown has elapsed, even with zero traffic —
+// otherwise a readiness-gated balancer never sends the probe request
+// that would move the breakers out of open.
+func TestReadyzRecoversAfterCooldown(t *testing.T) {
+	srv, hs := newTestServer(t, Config{BreakerThreshold: 1})
+	clk := &fakeClock{t: time.Unix(0, 0)}
+	srv.breakers = newBreakerSet(1, time.Second, 8*time.Second, clk.now)
+	b := srv.breakers.get("only")
+	b.allow()
+	b.failure()
+
+	rr, err := http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz during cooldown = %d, want 503", rr.StatusCode)
+	}
+	clk.advance(time.Second)
+	rr, err = http.Get(hs.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if rr.StatusCode != http.StatusOK {
+		t.Fatalf("readyz after cooldown elapsed = %d, want 200 (probe-eligible)", rr.StatusCode)
+	}
+}
+
 // TestReadyzAllBreakersOpen: readiness goes red when every known
 // algorithm breaker is open.
 func TestReadyzAllBreakersOpen(t *testing.T) {
