@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke chaos vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
+.PHONY: all vet build test race fuzz-smoke chaos dispatch-soak dispatch-soak-smoke vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
 
 all: build
 
@@ -28,6 +28,18 @@ fuzz-smoke:
 chaos:
 	sh scripts/chaos.sh
 
+# Streaming-session soak: many concurrent /v1/sessions lifecycles with
+# Poisson arrivals, client-side validation of every committed prefix,
+# competitive-ratio reporting, and a graceful-drain check with a live
+# SSE subscriber. Tune with SOAK_SESSIONS / SOAK_BATCHES / SOAK_SEED /
+# SOAK_BUILDFLAGS (e.g. -race).
+dispatch-soak:
+	sh scripts/dispatch_soak.sh
+
+# Small PR-time variant of the same soak under the race detector.
+dispatch-soak-smoke:
+	SOAK_SESSIONS=8 SOAK_BATCHES=8 SOAK_BUILDFLAGS=-race sh scripts/dispatch_soak.sh
+
 # Known-vulnerability scan, skipped quietly where the tool isn't
 # installed (it needs network access to fetch the vuln DB).
 vulncheck:
@@ -37,7 +49,7 @@ vulncheck:
 		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet build test race fuzz-smoke conform-smoke cover vulncheck
+ci: vet build test race fuzz-smoke conform-smoke dispatch-soak-smoke cover vulncheck
 
 # Full metamorphic conformance matrix (nightly soak): every registered
 # scheduler × every generator regime × every relation, with minimized

@@ -10,6 +10,7 @@
 //	schedd [-addr :8080] [-workers N] [-queue 64] [-cache 1024]
 //	       [-timeout 5s] [-max-tasks 10000] [-no-verify] [-quiet]
 //	       [-fallback MaxFreq] [-breaker-threshold 5] [-breaker-cooldown 2s]
+//	       [-sessions 256] [-session-ttl 0] [-session-backlog 1024]
 //	       [-faults point=rate,...] [-fault-seed N] [-fault-delay 100ms]
 //
 // Endpoints (see internal/server):
@@ -22,6 +23,14 @@
 //	GET  /metrics
 //	     /debug/pprof/*
 //
+// Streaming sessions (live dispatch runtime, see internal/dispatch):
+//
+//	POST   /v1/sessions               open a session
+//	POST   /v1/sessions/{id}/tasks    {"at":12.5,"tasks":[...]}
+//	GET    /v1/sessions/{id}/schedule committed prefix + plan suffix
+//	GET    /v1/sessions/{id}/events   SSE event stream
+//	DELETE /v1/sessions/{id}          finish + final competitive-ratio report
+//
 // Fault injection is OFF unless -faults (or SCHEDD_FAULTS) names at
 // least one point with a nonzero rate, e.g.
 //
@@ -30,8 +39,9 @@
 // It exists for chaos testing (`make chaos`); never enable it in a real
 // deployment.
 //
-// SIGINT/SIGTERM drain gracefully: in-flight solves finish (bounded by
-// the grace timeout) while new work is rejected with 503.
+// SIGINT/SIGTERM drain gracefully: in-flight solves finish and every
+// live session is run to its horizon with its event stream closed
+// (bounded by the grace timeout) while new work is rejected with 503.
 package main
 
 import (
@@ -79,6 +89,10 @@ func main() {
 		brThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open an algorithm's breaker (0 = default 5, negative disables)")
 		brCooldown  = flag.Duration("breaker-cooldown", 0, "initial open-breaker cooldown before a half-open probe (0 = default 2s)")
 		brMax       = flag.Duration("breaker-max-cooldown", 0, "cap on the exponentially growing cooldown (0 = default 30s)")
+
+		sessionLimit   = flag.Int("sessions", 0, "max concurrent streaming sessions (0 = default 256)")
+		sessionTTL     = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 disables)")
+		sessionBacklog = flag.Int("session-backlog", 0, "default per-session backlog before load-shedding (0 = default 1024)")
 
 		faultSpec  = flag.String("faults", "", "fault-injection spec point=rate,... (env SCHEDD_FAULTS); empty disables")
 		faultSeed  = flag.Int64("fault-seed", 0, "fault-injection RNG seed (env SCHEDD_FAULT_SEED; 0 = 1)")
@@ -128,6 +142,9 @@ func main() {
 		BreakerThreshold:   *brThreshold,
 		BreakerCooldown:    *brCooldown,
 		BreakerMaxCooldown: *brMax,
+		SessionLimit:       *sessionLimit,
+		SessionTTL:         *sessionTTL,
+		SessionBacklog:     *sessionBacklog,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -25,6 +25,17 @@
 // errors from failing the run (for chaos soaks where some error budget
 // is expected); validator failures always fail the run, because an
 // invalid 200 is never acceptable.
+//
+// With -stream it instead drives the live dispatch runtime: N
+// concurrent streaming sessions (-sessions), each fed a timed arrival
+// trace (Poisson or bursty, from the generator zoo, or a taskgen
+// -arrivals file via -trace) while consuming the session's SSE event
+// stream, then closed with DELETE for the final report — whose realized
+// schedule is re-validated client-side and whose per-session
+// competitive ratio vs the clairvoyant optimum is aggregated:
+//
+//	schedload -stream -sessions 50 -process poisson -batches 20 -rate 0.5
+//	schedload -stream -process bursty -debounce-ms 5 -regime harmonic
 package main
 
 import (
@@ -80,8 +91,57 @@ func main() {
 		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
 		retries   = flag.Int("retries", 0, "retry budget per request for transient failures (429/502/503/504/transport)")
 		tolerate  = flag.Bool("tolerate-errors", false, "exit 0 despite HTTP errors (validator failures still fail the run)")
+
+		stream     = flag.Bool("stream", false, "streaming-session mode: drive concurrent /v1/sessions lifecycles instead of one-shot solves")
+		sessions   = flag.Int("sessions", 8, "concurrent streaming sessions (-stream)")
+		process    = flag.String("process", "poisson", "arrival process per session: poisson or bursty (-stream)")
+		batches    = flag.Int("batches", 20, "arrival batches per session (-stream)")
+		rate       = flag.Float64("rate", 0.5, "mean batch-arrival rate per time unit (-stream)")
+		batchLo    = flag.Int("batch-lo", 1, "min tasks per arrival batch (-stream)")
+		batchHi    = flag.Int("batch-hi", 3, "max tasks per arrival batch (-stream)")
+		regime     = flag.String("regime", "", "generator-zoo regime shaping batch contents (-stream)")
+		debounceMS = flag.Float64("debounce-ms", 0, "server-side arrival-coalescing window (-stream)")
+		traceFile  = flag.String("trace", "", "replay a taskgen -arrivals JSON trace in every session (-stream)")
 	)
 	flag.Parse()
+
+	if *stream {
+		// One-shot solves default to the paper's S^F2; streaming sessions
+		// default to the online ReplanDER policy unless -algorithm is set.
+		algo := "ReplanDER"
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algorithm" {
+				algo = *algorithm
+			}
+		})
+		pm := power.Model{Gamma: *gamma, Alpha: *alpha, P0: *p0}
+		if err := pm.Validate(); err != nil {
+			fatalf("%v", err)
+		}
+		os.Exit(runStream(streamConfig{
+			addr:      *addr,
+			sessions:  *sessions,
+			algorithm: algo,
+			cores:     *cores,
+			model:     wire.ModelJSON{Gamma: *gamma, Alpha: *alpha, P0: *p0},
+			pm:        pm,
+
+			process:    *process,
+			batches:    *batches,
+			rate:       *rate,
+			batchLo:    *batchLo,
+			batchHi:    *batchHi,
+			regime:     *regime,
+			debounceMS: *debounceMS,
+			traceFile:  *traceFile,
+
+			seed:     *seed,
+			noVerify: *noVerify,
+			retries:  *retries,
+			tolerate: *tolerate,
+			timeout:  *timeout,
+		}))
+	}
 
 	pm := power.Model{Gamma: *gamma, Alpha: *alpha, P0: *p0}
 	if err := pm.Validate(); err != nil {

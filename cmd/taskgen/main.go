@@ -9,6 +9,17 @@
 //	taskgen -n 20 -profile xscale -intensity-lo 0.3 > xscale.json
 //	taskgen -n 10 -release-hi 50 -work-lo 5 -work-hi 15
 //
+// With -arrivals it instead emits a timed arrival trace — batches of
+// tasks stamped with virtual arrival times — for streaming sessions
+// (schedload -stream, POST /v1/sessions/{id}/tasks):
+//
+//	taskgen -arrivals poisson -batches 50 -rate 0.5 > trace.json
+//	taskgen -arrivals bursty -batches 50 -regime harmonic -batch-hi 5
+//
+// Batch contents come from the generator-zoo regime (-regime, default
+// bursty), re-anchored to release at their arrival instant. Arrival
+// traces are always JSON.
+//
 // With -o the format is inferred from the file extension (.csv or
 // .json) unless -format forces one.
 package main
@@ -38,8 +49,23 @@ func main() {
 		intensityLo = flag.Float64("intensity-lo", 0, "override intensity lower bound")
 		intensityHi = flag.Float64("intensity-hi", 0, "override intensity upper bound")
 		grid        = flag.Bool("grid", false, "draw intensities from the {0.1,...,1.0} grid")
+
+		arrivals = flag.String("arrivals", "", "emit an arrival trace instead: poisson or bursty")
+		batches  = flag.Int("batches", 50, "arrival batches in the trace")
+		rate     = flag.Float64("rate", 0.5, "mean batch-arrival rate per time unit")
+		batchLo  = flag.Int("batch-lo", 1, "min tasks per arrival batch")
+		batchHi  = flag.Int("batch-hi", 3, "max tasks per arrival batch")
+		regime   = flag.String("regime", "", "generator-zoo regime shaping batch contents (default bursty)")
 	)
 	flag.Parse()
+
+	if *arrivals != "" {
+		if err := emitTrace(*arrivals, *seed, *batches, *rate, *batchLo, *batchHi, *regime, *out); err != nil {
+			fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var p task.GenParams
 	switch *profile {
@@ -113,4 +139,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "taskgen: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// emitTrace generates and writes a timed arrival trace.
+func emitTrace(process string, seed int64, batches int, rate float64, batchLo, batchHi int, regime, out string) (err error) {
+	p := task.ArrivalParams{
+		Process: task.ArrivalProcess(process),
+		Batches: batches,
+		Rate:    rate,
+		BatchLo: batchLo,
+		BatchHi: batchHi,
+	}
+	if regime != "" {
+		r, err := task.ParseRegime(regime)
+		if err != nil {
+			return err
+		}
+		p.Regime = r
+	}
+	tr, err := task.GenerateTrace(rand.New(rand.NewSource(seed)), p)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, ferr := os.Create(out)
+		if ferr != nil {
+			return ferr
+		}
+		defer func() {
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}()
+		w = f
+	}
+	return tr.Write(w)
 }

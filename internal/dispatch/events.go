@@ -1,0 +1,138 @@
+package dispatch
+
+import "sync/atomic"
+
+// EventType names one kind of session event.
+type EventType string
+
+// The session event vocabulary. Every event carries the virtual clock
+// at emission; type-specific fields are documented on Event.
+const (
+	// EventReplan: a pending batch was admitted and the residual
+	// workload re-planned (Count = batch size, LatencyMS = solve time,
+	// Replans = cumulative counter).
+	EventReplan EventType = "replan"
+	// EventCommit: the clock advanced and a plan prefix was frozen
+	// (Count = committed segments, Energy = cumulative realized energy).
+	EventCommit EventType = "commit"
+	// EventComplete: a task finished its work (Task = session task ID,
+	// Completed = interpolated completion time).
+	EventComplete EventType = "complete"
+	// EventShed: tasks were load-shed (Count, Reason).
+	EventShed EventType = "shed"
+	// EventError: a residual solve failed (Reason); the batch is
+	// retried or shed.
+	EventError EventType = "error"
+	// EventFinal: the session ran to its horizon (Energy = realized,
+	// Ratio = competitive ratio vs the clairvoyant optimum, Replans =
+	// total).
+	EventFinal EventType = "final"
+)
+
+// Event is one entry of a session's totally ordered event stream.
+type Event struct {
+	// Seq is the session-unique, strictly increasing sequence number.
+	Seq int64 `json:"seq"`
+	// Type discriminates the payload fields below.
+	Type EventType `json:"type"`
+	// Clock is the session's virtual time at emission.
+	Clock float64 `json:"clock"`
+	// Task is the session task ID (EventComplete), else -1.
+	Task int `json:"task"`
+	// Count is the batch/segment/shed cardinality where applicable.
+	Count int `json:"count,omitempty"`
+	// Completed is the interpolated completion time (EventComplete).
+	Completed float64 `json:"completed,omitempty"`
+	// Reason explains sheds and errors.
+	Reason string `json:"reason,omitempty"`
+	// Energy is the cumulative realized energy (EventCommit, EventFinal).
+	Energy float64 `json:"energy,omitempty"`
+	// Ratio is the competitive ratio (EventFinal; 0 when skipped).
+	Ratio float64 `json:"ratio,omitempty"`
+	// Replans is the cumulative re-plan count (EventReplan, EventFinal).
+	Replans int `json:"replans,omitempty"`
+	// LatencyMS is the residual solve latency (EventReplan).
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+}
+
+// subscriber is one live event consumer. Sends never block the session:
+// a full channel drops the event and counts it, so a stalled SSE client
+// cannot wedge scheduling.
+type subscriber struct {
+	ch      chan Event
+	dropped atomic.Int64
+}
+
+// eventHub fans session events out to subscribers and keeps a bounded
+// replay ring for late joiners. All methods are called with the owning
+// session's mutex held, which is what makes the stream totally ordered.
+type eventHub struct {
+	history []Event // ring buffer, oldest-first once full
+	start   int     // index of the oldest entry
+	cap     int
+	subs    map[*subscriber]struct{}
+	closed  bool
+}
+
+func newEventHub(capacity int) *eventHub {
+	return &eventHub{cap: capacity, subs: make(map[*subscriber]struct{})}
+}
+
+// emit records ev and delivers it to every live subscriber.
+func (h *eventHub) emit(ev Event) {
+	if h.closed {
+		return
+	}
+	if len(h.history) < h.cap {
+		h.history = append(h.history, ev)
+	} else {
+		h.history[h.start] = ev
+		h.start = (h.start + 1) % h.cap
+	}
+	for sub := range h.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// subscribe registers a consumer, replaying the retained history first.
+// The returned channel is closed when the session closes; cancel
+// detaches early. A nil channel is returned after close.
+func (h *eventHub) subscribe() (*subscriber, []Event) {
+	if h.closed {
+		return nil, nil
+	}
+	replay := make([]Event, 0, len(h.history))
+	for i := 0; i < len(h.history); i++ {
+		replay = append(replay, h.history[(h.start+i)%len(h.history)])
+	}
+	// Capacity covers the full replay plus a burst of live events, so a
+	// consumer that keeps up never observes drops.
+	sub := &subscriber{ch: make(chan Event, h.cap+64)}
+	h.subs[sub] = struct{}{}
+	return sub, replay
+}
+
+// unsubscribe detaches a consumer and closes its channel.
+func (h *eventHub) unsubscribe(sub *subscriber) {
+	if _, ok := h.subs[sub]; !ok {
+		return
+	}
+	delete(h.subs, sub)
+	close(sub.ch)
+}
+
+// close closes every subscriber channel; further emits are dropped.
+func (h *eventHub) close() {
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for sub := range h.subs {
+		close(sub.ch)
+	}
+	h.subs = map[*subscriber]struct{}{}
+}

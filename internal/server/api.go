@@ -37,6 +37,18 @@ type (
 	AlgorithmsResponse = wire.AlgorithmsResponse
 	// ErrorResponse is the body of every non-2xx JSON response.
 	ErrorResponse = wire.ErrorResponse
+	// SessionCreateRequest is the body of POST /v1/sessions.
+	SessionCreateRequest = wire.SessionCreateRequest
+	// SessionCreateResponse is the body of a successful POST /v1/sessions.
+	SessionCreateResponse = wire.SessionCreateResponse
+	// ArrivalRequest is the body of POST /v1/sessions/{id}/tasks.
+	ArrivalRequest = wire.ArrivalRequest
+	// ArrivalResponse reports a session admission outcome.
+	ArrivalResponse = wire.ArrivalResponse
+	// SessionScheduleResponse is the body of GET /v1/sessions/{id}/schedule.
+	SessionScheduleResponse = wire.SessionScheduleResponse
+	// SessionFinalResponse is the body of DELETE /v1/sessions/{id}.
+	SessionFinalResponse = wire.SessionFinalResponse
 )
 
 // maxBodyBytes bounds request bodies so a single client cannot exhaust

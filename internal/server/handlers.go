@@ -17,6 +17,7 @@ import (
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/server/wire"
+	"repro/internal/sim"
 	"repro/internal/task"
 	"repro/internal/trace"
 )
@@ -233,6 +234,7 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 				Makespan:  sched.Makespan(),
 				Verified:  !s.cfg.DisableVerify,
 				Segments:  segmentsJSON(sched),
+				Sim:       simReport(sched, pm),
 			}
 			s.cache.Put(key, resp)
 			out := *resp
@@ -301,8 +303,21 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 		Segments:          segmentsJSON(sched),
 		Degraded:          true,
 		FallbackAlgorithm: fb.Name,
+		Sim:               simReport(sched, pm),
 	}
 	return resp, sched, http.StatusOK, nil
+}
+
+// simReport runs the discrete-event simulator over a freshly produced
+// schedule to expose its execution profile (preemption and migration
+// counts, per-core utilization) in the response; nil when the replay
+// fails, which never fails the solve itself.
+func simReport(sched *schedule.Schedule, pm power.Model) *wire.SimReportJSON {
+	rep, err := sim.Run(sched, pm)
+	if err != nil {
+		return nil
+	}
+	return wire.SimReport(rep)
 }
 
 // fallbackEntry resolves the configured fallback algorithm, or nil when

@@ -110,12 +110,26 @@ type Metrics struct {
 	fallbackFailures atomic.Int64 // fallback chain exhausted (503 served)
 	breakerDenials   atomic.Int64 // requests denied by an open breaker
 
+	// Streaming-session accounting.
+	sessionsOpened      atomic.Int64 // sessions created
+	sessionsClosed      atomic.Int64 // sessions deleted by clients
+	sessionsEvicted     atomic.Int64 // sessions evicted by the TTL janitor
+	sessionArrivals     atomic.Int64 // tasks admitted into sessions
+	sessionReplans      atomic.Int64 // residual re-plans executed
+	sessionReplanErrors atomic.Int64 // residual re-plans that failed
+	sessionSheds        atomic.Int64 // tasks load-shed by sessions
+
 	// Histograms.
 	latencyMS  *histogram // end-to-end /v1/schedule handling time
 	queueDepth *histogram // admission-time queue depth
+	replanMS   *histogram // per-session residual re-plan latency
 
 	// queueNow is sampled live from the admission gate at scrape time.
 	queueNow func() int64
+	// sessionsOpen / sessionBacklog are sampled live from the session
+	// manager at scrape time; nil when sessions are disabled.
+	sessionsOpen   func() int
+	sessionBacklog func() int
 	// breakerStats / faultCounts are sampled live at scrape time; either
 	// may be nil (breakers disabled, no fault injector active).
 	breakerStats func() []breakerStat
@@ -127,6 +141,7 @@ func newMetrics(queueNow func() int64) *Metrics {
 		start:      time.Now(),
 		latencyMS:  newHistogram(latencyBucketsMS),
 		queueDepth: newHistogram(queueBuckets),
+		replanMS:   newHistogram(latencyBucketsMS),
 		queueNow:   queueNow,
 	}
 }
@@ -197,6 +212,20 @@ func (m *Metrics) Write(w io.Writer) {
 	if m.queueNow != nil {
 		fmt.Fprintf(w, "schedd_queue_depth %d\n", m.queueNow())
 	}
+	if m.sessionsOpen != nil {
+		fmt.Fprintf(w, "schedd_sessions_open %d\n", m.sessionsOpen())
+	}
+	if m.sessionBacklog != nil {
+		fmt.Fprintf(w, "schedd_session_backlog_depth %d\n", m.sessionBacklog())
+	}
+	fmt.Fprintf(w, "schedd_sessions_opened_total %d\n", m.sessionsOpened.Load())
+	fmt.Fprintf(w, "schedd_sessions_closed_total %d\n", m.sessionsClosed.Load())
+	fmt.Fprintf(w, "schedd_sessions_evicted_total %d\n", m.sessionsEvicted.Load())
+	fmt.Fprintf(w, "schedd_session_arrivals_total %d\n", m.sessionArrivals.Load())
+	fmt.Fprintf(w, "schedd_session_replans_total %d\n", m.sessionReplans.Load())
+	fmt.Fprintf(w, "schedd_session_replan_failures_total %d\n", m.sessionReplanErrors.Load())
+	fmt.Fprintf(w, "schedd_session_shed_tasks_total %d\n", m.sessionSheds.Load())
 	m.latencyMS.write(w, "schedd_latency_ms")
 	m.queueDepth.write(w, "schedd_queue_depth_at_admission")
+	m.replanMS.write(w, "schedd_session_replan_latency_ms")
 }

@@ -60,3 +60,54 @@ func TestMetricsWriteAndHitRate(t *testing.T) {
 		t.Fatal("response codes not sorted")
 	}
 }
+
+func TestMetricsSessionGaugesAndCounters(t *testing.T) {
+	m := newMetrics(nil)
+	m.sessionsOpen = func() int { return 2 }
+	m.sessionBacklog = func() int { return 7 }
+	m.sessionsOpened.Add(5)
+	m.sessionsClosed.Add(2)
+	m.sessionsEvicted.Add(1)
+	m.sessionArrivals.Add(40)
+	m.sessionReplans.Add(9)
+	m.sessionReplanErrors.Add(1)
+	m.sessionSheds.Add(3)
+	m.replanMS.Observe(0.2)
+	m.replanMS.Observe(30)
+
+	var buf bytes.Buffer
+	m.Write(&buf)
+	for _, want := range []string{
+		"schedd_sessions_open 2",
+		"schedd_session_backlog_depth 7",
+		"schedd_sessions_opened_total 5",
+		"schedd_sessions_closed_total 2",
+		"schedd_sessions_evicted_total 1",
+		"schedd_session_arrivals_total 40",
+		"schedd_session_replans_total 9",
+		"schedd_session_replan_failures_total 1",
+		"schedd_session_shed_tasks_total 3",
+		`schedd_session_replan_latency_ms_bucket{le="0.25"} 1`,
+		`schedd_session_replan_latency_ms_bucket{le="+Inf"} 2`,
+		"schedd_session_replan_latency_ms_count 2",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestMetricsSessionGaugesAbsentWhenUnwired(t *testing.T) {
+	m := newMetrics(nil)
+	var buf bytes.Buffer
+	m.Write(&buf)
+	for _, absent := range []string{"schedd_sessions_open ", "schedd_session_backlog_depth "} {
+		if strings.Contains(buf.String(), absent) {
+			t.Fatalf("unexpected %q in:\n%s", absent, buf.String())
+		}
+	}
+	// Counters still print their zeros for scrape stability.
+	if !strings.Contains(buf.String(), "schedd_sessions_opened_total 0") {
+		t.Fatalf("missing zero counter in:\n%s", buf.String())
+	}
+}

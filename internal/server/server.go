@@ -20,6 +20,19 @@
 //	GET  /metrics            expvar-style text metrics
 //	     /debug/pprof/*      runtime profiles
 //
+// Streaming sessions (the live dispatch runtime, internal/dispatch):
+//
+//	POST   /v1/sessions               open a streaming scheduling session
+//	POST   /v1/sessions/{id}/tasks    admit an arrival batch at a virtual time
+//	GET    /v1/sessions/{id}/schedule committed prefix + current plan suffix
+//	GET    /v1/sessions/{id}/events   SSE stream of replan/commit/shed events
+//	DELETE /v1/sessions/{id}          finish, account vs optimum, tear down
+//
+// Session re-plans run through the same verified solve pipeline
+// (admission gate, timeout, validator guardrail, circuit breaker, fault
+// injection) as one-shot solves. Shutdown drains every live session to
+// its horizon before closing the event streams.
+//
 // Robustness: solver panics are recovered into typed errors, every
 // registered algorithm sits behind a consecutive-failure circuit
 // breaker with exponential half-open probes, and failed solves walk a
@@ -41,6 +54,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dispatch"
 	"repro/internal/fallback"
 	"repro/internal/fault"
 )
@@ -90,6 +104,17 @@ type Config struct {
 	// process-wide injector from internal/fault, itself nil — off — by
 	// default).
 	Faults *fault.Injector
+
+	// SessionLimit bounds concurrently open streaming sessions (default
+	// dispatch.DefaultMaxSessions).
+	SessionLimit int
+	// SessionTTL evicts sessions idle longer than this (0 disables the
+	// TTL janitor; negative also disables).
+	SessionTTL time.Duration
+	// SessionBacklog is the default per-session unfinished-task bound
+	// before load-shedding (0 uses dispatch.DefaultBacklog; always capped
+	// by MaxTasks).
+	SessionBacklog int
 }
 
 // FallbackNone disables the graceful-degradation fallback chain.
@@ -138,6 +163,18 @@ func (c Config) withDefaults() Config {
 	if c.BreakerMaxCooldown <= 0 {
 		c.BreakerMaxCooldown = 30 * time.Second
 	}
+	if c.SessionLimit <= 0 {
+		c.SessionLimit = dispatch.DefaultMaxSessions
+	}
+	if c.SessionTTL < 0 {
+		c.SessionTTL = 0
+	}
+	if c.SessionBacklog <= 0 {
+		c.SessionBacklog = dispatch.DefaultBacklog
+	}
+	if c.SessionBacklog > c.MaxTasks {
+		c.SessionBacklog = c.MaxTasks
+	}
 	return c
 }
 
@@ -149,6 +186,7 @@ type Server struct {
 	cache    *solveCache
 	breakers *breakerSet
 	metrics  *Metrics
+	sessions *dispatch.Manager
 	mux      *http.ServeMux
 	draining atomic.Bool
 }
@@ -166,11 +204,26 @@ func New(cfg Config) *Server {
 	s.metrics = newMetrics(s.gate.depth)
 	s.metrics.breakerStats = s.breakers.stats
 	s.metrics.faultCounts = func() []fault.Count { return s.faults().Counts() }
+	s.sessions = dispatch.NewManager(dispatch.ManagerConfig{
+		MaxSessions: cfg.SessionLimit,
+		TTL:         cfg.SessionTTL,
+		OnEvict: func(id string, _ *dispatch.Session) {
+			s.metrics.sessionsEvicted.Add(1)
+			s.cfg.Logger.Printf("msg=%q session=%s", "session evicted (idle TTL)", id)
+		},
+	})
+	s.metrics.sessionsOpen = s.sessions.Len
+	s.metrics.sessionBacklog = s.sessions.OpenBacklog
 
 	s.mux.HandleFunc("/v1/schedule", s.handleSchedule)
 	s.mux.HandleFunc("/v1/schedule/batch", s.handleScheduleBatch)
 	s.mux.HandleFunc("/v1/feasible", s.handleFeasible)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.handleSessionArrive)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSessionSchedule)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -184,6 +237,11 @@ func New(cfg Config) *Server {
 
 // Metrics exposes the server's counters (used by tests and cmd/schedd).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Close releases background resources (the session manager's TTL
+// janitor and every open session) without draining. Tests that build a
+// Server directly — bypassing ListenAndServe — should defer it.
+func (s *Server) Close() { s.sessions.Close() }
 
 // faults returns the fault injector in effect: the per-server one when
 // configured (tests), else the process-wide registry (cmd/schedd's
@@ -234,6 +292,14 @@ func (r *statusRecorder) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush forwards to the underlying writer so SSE streams work through
+// the logging wrapper.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // ListenAndServe serves until ctx is canceled, then drains: new solves
 // are rejected with 503 while in-flight requests get GraceTimeout to
 // finish.
@@ -247,9 +313,13 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	case <-ctx.Done():
 	}
 	s.draining.Store(true)
-	s.cfg.Logger.Printf("msg=%q grace=%s", "draining", s.cfg.GraceTimeout)
+	s.cfg.Logger.Printf("msg=%q grace=%s sessions=%d", "draining", s.cfg.GraceTimeout, s.sessions.Len())
 	shutCtx, cancel := context.WithTimeout(context.Background(), s.cfg.GraceTimeout)
 	defer cancel()
+	// Drain sessions first: every live session is flushed and run to its
+	// horizon, then its event stream closes — which releases any SSE
+	// handlers blocked on events, letting hs.Shutdown complete.
+	s.sessions.Drain(shutCtx)
 	if err := hs.Shutdown(shutCtx); err != nil {
 		hs.Close()
 		return fmt.Errorf("server: shutdown: %w", err)

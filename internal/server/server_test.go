@@ -69,7 +69,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
 	srv := New(cfg)
 	hs := httptest.NewServer(srv.Handler())
+	// Close sessions first so SSE handlers unblock before hs.Close waits
+	// on outstanding connections.
 	t.Cleanup(hs.Close)
+	t.Cleanup(srv.Close)
 	return srv, hs
 }
 

@@ -1,0 +1,338 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/dispatch"
+	"repro/internal/power"
+	"repro/internal/schedule"
+	"repro/internal/server/wire"
+	"repro/internal/task"
+)
+
+// sessionSolve adapts the server's verified solve pipeline into a
+// dispatch.SolveFunc: every residual re-plan of a streaming session
+// passes the same admission gate, per-attempt timeout, fault-injection
+// points, validator guardrail, and per-algorithm circuit breaker as a
+// one-shot POST /v1/schedule. There is no fallback chain here — a
+// failed residual solve is the session's to retry or shed, and swapping
+// policies mid-session would corrupt its energy accounting.
+func (s *Server) sessionSolve(algorithm string) (dispatch.SolveFunc, error) {
+	entry, ok := check.Lookup(algorithm)
+	if !ok {
+		return nil, fmt.Errorf("unknown algorithm %q (have %v)", algorithm, check.Names())
+	}
+	return func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
+		br := s.breakers.get(algorithm)
+		allowed, probe := br.allowed()
+		if !allowed {
+			s.metrics.breakerDenials.Add(1)
+			return nil, 0, fmt.Errorf("circuit breaker open for algorithm %q", algorithm)
+		}
+		req := &ScheduleRequest{Algorithm: algorithm, Cores: m, Tasks: ts}
+		sched, energy, status, err := s.runVerified(ctx, entry, req, pm)
+		if err == nil {
+			br.onSuccess()
+			return sched, energy, nil
+		}
+		switch {
+		case breakerCountable(status, err):
+			br.onFailure()
+		case probe:
+			br.onProbeAbort()
+		}
+		return nil, 0, err
+	}, nil
+}
+
+// sessionHooks wires a session's replan/shed observations into the
+// server metrics.
+func (s *Server) sessionHooks() dispatch.Hooks {
+	return dispatch.Hooks{
+		Replan: func(latency time.Duration, err error) {
+			s.metrics.sessionReplans.Add(1)
+			s.metrics.replanMS.Observe(float64(latency) / float64(time.Millisecond))
+			if err != nil {
+				s.metrics.sessionReplanErrors.Add(1)
+			}
+		},
+		Shed: func(n int) { s.metrics.sessionSheds.Add(int64(n)) },
+	}
+}
+
+// handleSessionCreate serves POST /v1/sessions.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		retryAfter(w, 1)
+		s.metrics.draining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req SessionCreateRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if req.Cores <= 0 {
+		writeError(w, http.StatusBadRequest, "cores must be >= 1, have %d", req.Cores)
+		return
+	}
+	pm, err := req.Model.Model()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	algorithm := req.Algorithm
+	if algorithm == "" {
+		algorithm = dispatch.DefaultAlgorithm
+	}
+	solve, err := s.sessionSolve(algorithm)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	if req.DebounceMS < 0 || req.Backlog < 0 {
+		writeError(w, http.StatusBadRequest, "debounce_ms and backlog must be non-negative")
+		return
+	}
+	backlog := req.Backlog
+	if backlog == 0 {
+		backlog = s.cfg.SessionBacklog
+	}
+	if backlog > s.cfg.MaxTasks {
+		backlog = s.cfg.MaxTasks
+	}
+	id, _, err := s.sessions.Create(dispatch.Config{
+		Algorithm: algorithm,
+		Cores:     req.Cores,
+		Model:     pm,
+		Debounce:  time.Duration(req.DebounceMS * float64(time.Millisecond)),
+		Backlog:   backlog,
+		Solve:     solve,
+		Hooks:     s.sessionHooks(),
+		SkipRatio: req.SkipRatio,
+	})
+	switch {
+	case errors.Is(err, dispatch.ErrTooManySessions):
+		retryAfter(w, 1)
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, dispatch.ErrSessionClosed): // manager draining
+		retryAfter(w, 1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.metrics.sessionsOpened.Add(1)
+	s.cfg.Logger.Printf("msg=%q session=%s algorithm=%q cores=%d backlog=%d",
+		"session created", id, algorithm, req.Cores, backlog)
+	writeJSON(w, http.StatusCreated, SessionCreateResponse{
+		Version:   wire.Version,
+		ID:        id,
+		Algorithm: algorithm,
+		Cores:     req.Cores,
+		Backlog:   backlog,
+	})
+}
+
+// session resolves the {id} path value, writing 404 when unknown.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *dispatch.Session) {
+	id := r.PathValue("id")
+	sess := s.sessions.Get(id)
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		return id, nil
+	}
+	return id, sess
+}
+
+// handleSessionArrive serves POST /v1/sessions/{id}/tasks: admit one
+// arrival batch at virtual time `at`. A fully-shed batch answers 429 so
+// clients experience backlog pushback exactly like admission-queue
+// overload; partial admission is a 200 reporting both counts.
+func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		retryAfter(w, 1)
+		s.metrics.draining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	_, sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req ArrivalRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Tasks) == 0 {
+		writeError(w, http.StatusBadRequest, "arrival batch is empty")
+		return
+	}
+	if s.cfg.MaxTasks > 0 && len(req.Tasks) > s.cfg.MaxTasks {
+		writeError(w, http.StatusBadRequest,
+			"arrival batch has %d tasks, limit is %d", len(req.Tasks), s.cfg.MaxTasks)
+		return
+	}
+	// Batch task IDs are positional; the session assigns its own.
+	req.Tasks.Renumber()
+	admitted, shed, err := sess.Arrive(r.Context(), req.At, req.Tasks)
+	switch {
+	case errors.Is(err, dispatch.ErrBadArrival):
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	case errors.Is(err, dispatch.ErrSessionClosed):
+		writeError(w, http.StatusConflict, "session already finished")
+		return
+	case err != nil:
+		writeError(w, statusForCtxErr(err), "arrival interrupted: %v", err)
+		return
+	}
+	s.metrics.sessionArrivals.Add(int64(admitted))
+	resp := ArrivalResponse{Admitted: admitted, Shed: shed, Stats: sess.Stats()}
+	if admitted == 0 && shed > 0 {
+		// Backlog pushback: same contract as admission-queue overload.
+		s.metrics.overload.Add(1)
+		retryAfter(w, 1)
+		writeJSON(w, http.StatusTooManyRequests, resp)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionSchedule serves GET /v1/sessions/{id}/schedule. Pending
+// arrivals are flushed first so the answer is deterministic: everything
+// admitted so far is either committed or planned.
+func (s *Server) handleSessionSchedule(w http.ResponseWriter, r *http.Request) {
+	id, sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	if err := sess.Flush(r.Context()); err != nil && !errors.Is(err, dispatch.ErrSessionClosed) {
+		writeError(w, statusForCtxErr(err), "flush interrupted: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, SessionScheduleResponse{
+		Version:   wire.Version,
+		ID:        id,
+		Algorithm: sess.Algorithm(),
+		Cores:     sess.Cores(),
+		Stats:     sess.Stats(),
+		Committed: segmentsToWire(sess.Committed()),
+		Planned:   segmentsToWire(sess.Plan()),
+	})
+}
+
+// handleSessionDelete serves DELETE /v1/sessions/{id}: run the session
+// to its horizon, account it against the clairvoyant optimum, tear the
+// streams down, and return the final report.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	id, sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	f, err := sess.Finish(r.Context())
+	if err != nil {
+		// Context died mid-finish: the session survives for a retry.
+		writeError(w, statusForCtxErr(err), "finish interrupted: %v", err)
+		return
+	}
+	s.sessions.Remove(id)
+	s.metrics.sessionsClosed.Add(1)
+	s.cfg.Logger.Printf("msg=%q session=%s energy=%g ratio=%g replans=%d completed=%d shed=%d",
+		"session finished", id, f.RealizedEnergy, f.CompetitiveRatio, f.Replans, f.Completed, f.Shed)
+	resp := SessionFinalResponse{
+		Version:          wire.Version,
+		ID:               id,
+		Algorithm:        sess.Algorithm(),
+		Cores:            sess.Cores(),
+		RealizedEnergy:   f.RealizedEnergy,
+		OptimalEnergy:    f.OptimalEnergy,
+		CompetitiveRatio: f.CompetitiveRatio,
+		OptError:         f.OptError,
+		Replans:          f.Replans,
+		Commits:          f.Commits,
+		Completed:        f.Completed,
+		Shed:             f.Shed,
+		Missed:           f.Missed,
+		Horizon:          f.Horizon,
+		Violations:       f.Violations,
+		Tasks:            f.Tasks,
+		Sim:              wire.SimReport(f.Sim),
+	}
+	if f.Schedule != nil {
+		resp.Segments = segmentsJSON(f.Schedule)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSessionEvents serves GET /v1/sessions/{id}/events as a
+// Server-Sent-Events stream: the session's retained history replays
+// first, then live events follow until the client disconnects or the
+// session closes (DELETE, TTL eviction, drain) — which ends the stream
+// cleanly.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	_, sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		return
+	}
+	events, cancel, err := sess.Subscribe()
+	if err != nil {
+		writeError(w, http.StatusConflict, "session closed")
+		return
+	}
+	defer cancel()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	enc := newSSEWriter(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				// Session closed: emit a terminal comment so clients can
+				// distinguish a graceful end from a dropped connection.
+				fmt.Fprintf(w, ": stream closed\n\n")
+				flusher.Flush()
+				return
+			}
+			if err := enc.writeEvent(ev); err != nil {
+				return // client went away mid-write
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// segmentsToWire converts raw segments (session committed/planned
+// slices) to the wire form.
+func segmentsToWire(segs []schedule.Segment) []SegmentJSON {
+	out := make([]SegmentJSON, len(segs))
+	for i, seg := range segs {
+		out[i] = SegmentJSON{
+			Task: seg.Task, Core: seg.Core,
+			Start: seg.Start, End: seg.End, Frequency: seg.Frequency,
+		}
+	}
+	return out
+}

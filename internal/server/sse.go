@@ -1,0 +1,29 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/dispatch"
+)
+
+// sseWriter serializes session events in the text/event-stream format:
+// an id: line carrying the session-monotonic sequence number, an event:
+// line carrying the event type, and a data: line carrying the JSON
+// payload, terminated by a blank line.
+type sseWriter struct {
+	w io.Writer
+}
+
+func newSSEWriter(w io.Writer) *sseWriter { return &sseWriter{w: w} }
+
+func (s *sseWriter) writeEvent(ev dispatch.Event) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	// Event payloads are single-line JSON, so one data: line suffices.
+	_, err = fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	return err
+}

@@ -4,8 +4,10 @@
 package wire
 
 import (
+	"repro/internal/dispatch"
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/sim"
 	"repro/internal/task"
 )
 
@@ -85,6 +87,38 @@ type ScheduleResponse struct {
 	// FallbackAlgorithm names the algorithm that actually produced a
 	// degraded response (set exactly when Degraded is true).
 	FallbackAlgorithm string `json:"fallback_algorithm,omitempty"`
+	// Sim is the simulator's execution report for the schedule
+	// (preemption/migration counts, per-core utilization).
+	Sim *SimReportJSON `json:"sim,omitempty"`
+}
+
+// SimReportJSON is the wire form of the simulator's execution report.
+type SimReportJSON struct {
+	Energy      float64   `json:"energy"`
+	Horizon     float64   `json:"horizon"`
+	CoreBusy    []float64 `json:"core_busy"`
+	Utilization []float64 `json:"utilization"`
+	Preemptions int       `json:"preemptions"`
+	Migrations  int       `json:"migrations"`
+	Wakeups     int       `json:"wakeups"`
+	Violations  []string  `json:"violations,omitempty"`
+}
+
+// SimReport converts a simulator report to the wire form (nil for nil).
+func SimReport(r *sim.Report) *SimReportJSON {
+	if r == nil {
+		return nil
+	}
+	return &SimReportJSON{
+		Energy:      r.Energy,
+		Horizon:     r.Horizon,
+		CoreBusy:    r.CoreBusy,
+		Utilization: r.Utilization,
+		Preemptions: r.Preemptions,
+		Migrations:  r.Migrations,
+		Wakeups:     r.Wakeups,
+		Violations:  r.Violations,
+	}
 }
 
 // BatchRequest is the body of POST /v1/schedule/batch: independent
@@ -139,6 +173,97 @@ type AlgorithmsResponse struct {
 // ErrorResponse is the body of every non-2xx JSON response.
 type ErrorResponse struct {
 	Error string `json:"error"`
+}
+
+// SessionStats is a point-in-time summary of a streaming session
+// (re-exported from the dispatch runtime; it already carries JSON tags).
+type SessionStats = dispatch.Stats
+
+// SessionEvent is one entry of a session's event stream, delivered as
+// the data payload of the GET /v1/sessions/{id}/events SSE stream.
+type SessionEvent = dispatch.Event
+
+// SessionCreateRequest is the body of POST /v1/sessions.
+type SessionCreateRequest struct {
+	// Algorithm names the residual re-planning policy (default ReplanDER).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Cores is the core count m ≥ 1.
+	Cores int `json:"cores"`
+	// Model is the continuous power model.
+	Model ModelJSON `json:"model"`
+	// DebounceMS is the arrival-coalescing window in milliseconds: bursts
+	// of arrivals inside it trigger one re-plan. 0 re-plans per batch.
+	DebounceMS float64 `json:"debounce_ms,omitempty"`
+	// Backlog bounds unfinished tasks before load-shedding (0 = server
+	// default, capped by the server's max-tasks limit).
+	Backlog int `json:"backlog,omitempty"`
+	// SkipRatio disables the clairvoyant-optimum solve at session end
+	// (cheaper deletes; the competitive ratio is reported as 0).
+	SkipRatio bool `json:"skip_ratio,omitempty"`
+}
+
+// SessionCreateResponse is the body of a successful POST /v1/sessions.
+type SessionCreateResponse struct {
+	Version   int    `json:"version,omitempty"`
+	ID        string `json:"id"`
+	Algorithm string `json:"algorithm"`
+	Cores     int    `json:"cores"`
+	Backlog   int    `json:"backlog"`
+}
+
+// ArrivalRequest is the body of POST /v1/sessions/{id}/tasks: a batch of
+// tasks arriving at virtual time At. Task IDs are positional within the
+// batch; the session assigns its own IDs (reported in events).
+type ArrivalRequest struct {
+	At    float64  `json:"at"`
+	Tasks task.Set `json:"tasks"`
+}
+
+// ArrivalResponse reports an admission outcome. When every task in the
+// batch was shed the HTTP status is 429 and this body is still sent.
+type ArrivalResponse struct {
+	Admitted int          `json:"admitted"`
+	Shed     int          `json:"shed"`
+	Stats    SessionStats `json:"stats"`
+}
+
+// SessionScheduleResponse is the body of GET /v1/sessions/{id}/schedule:
+// the immutable committed prefix plus the current plan suffix. Segment
+// task fields are session task IDs (arrival order).
+type SessionScheduleResponse struct {
+	Version   int           `json:"version,omitempty"`
+	ID        string        `json:"id"`
+	Algorithm string        `json:"algorithm"`
+	Cores     int           `json:"cores"`
+	Stats     SessionStats  `json:"stats"`
+	Committed []SegmentJSON `json:"committed"`
+	Planned   []SegmentJSON `json:"planned"`
+}
+
+// SessionFinalResponse is the body of DELETE /v1/sessions/{id}: the
+// session is run to its horizon, accounted against the clairvoyant
+// offline optimum, and torn down. Tasks and Segments carry the full
+// effective instance and realized schedule so clients can re-validate
+// out-of-band.
+type SessionFinalResponse struct {
+	Version          int            `json:"version,omitempty"`
+	ID               string         `json:"id"`
+	Algorithm        string         `json:"algorithm"`
+	Cores            int            `json:"cores"`
+	RealizedEnergy   float64        `json:"realized_energy"`
+	OptimalEnergy    float64        `json:"optimal_energy,omitempty"`
+	CompetitiveRatio float64        `json:"competitive_ratio,omitempty"`
+	OptError         string         `json:"opt_error,omitempty"`
+	Replans          int            `json:"replans"`
+	Commits          int            `json:"commits"`
+	Completed        int            `json:"completed"`
+	Shed             int            `json:"shed"`
+	Missed           []int          `json:"missed,omitempty"`
+	Horizon          float64        `json:"horizon"`
+	Violations       []string       `json:"violations,omitempty"`
+	Tasks            task.Set       `json:"tasks"`
+	Segments         []SegmentJSON  `json:"segments"`
+	Sim              *SimReportJSON `json:"sim,omitempty"`
 }
 
 // Segments converts schedule segments to the wire form.

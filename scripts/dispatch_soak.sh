@@ -1,0 +1,143 @@
+#!/bin/sh
+# dispatch_soak.sh — streaming-session soak for the live dispatch runtime.
+#
+# Builds cmd/schedd and cmd/schedload, starts the daemon, and drives many
+# concurrent streaming sessions (POST /v1/sessions + SSE event streams)
+# with Poisson arrival traces, asserting the session contract:
+#
+#   1. the daemon never crashes;
+#   2. every committed prefix and every final schedule passes the
+#      client-side universal validator (schedload -stream exits nonzero
+#      on any validator failure or missed deadline under ReplanDER);
+#   3. per-session competitive ratios are reported and session activity
+#      is visible in /metrics;
+#   4. SIGTERM drains cleanly: a live SSE subscriber receives the final
+#      event and a graceful stream-closed terminator, and the daemon
+#      exits.
+#
+# Env knobs: SOAK_SESSIONS (default 50), SOAK_BATCHES (20), SOAK_RATE
+# (0.5), SOAK_SEED (42), SOAK_PORT (18322), SOAK_BUILDFLAGS (e.g.
+# -race), GO (go).
+set -eu
+
+GO="${GO:-go}"
+SESSIONS="${SOAK_SESSIONS:-50}"
+BATCHES="${SOAK_BATCHES:-20}"
+RATE="${SOAK_RATE:-0.5}"
+SEED="${SOAK_SEED:-42}"
+PORT="${SOAK_PORT:-18322}"
+BUILDFLAGS="${SOAK_BUILDFLAGS:-}"
+
+workdir="$(mktemp -d)"
+server_pid=""
+sse_pid=""
+cleanup() {
+    if [ -n "$sse_pid" ] && kill -0 "$sse_pid" 2>/dev/null; then
+        kill -9 "$sse_pid" 2>/dev/null || true
+    fi
+    if [ -n "$server_pid" ] && kill -0 "$server_pid" 2>/dev/null; then
+        kill -9 "$server_pid" 2>/dev/null || true
+    fi
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo "dispatch-soak: building (flags: ${BUILDFLAGS:-none})"
+# shellcheck disable=SC2086
+$GO build $BUILDFLAGS -o "$workdir/schedd" ./cmd/schedd
+# shellcheck disable=SC2086
+$GO build $BUILDFLAGS -o "$workdir/schedload" ./cmd/schedload
+
+echo "dispatch-soak: starting schedd on :$PORT"
+"$workdir/schedd" -addr "127.0.0.1:$PORT" -quiet \
+    2>"$workdir/schedd.log" &
+server_pid=$!
+
+base="http://127.0.0.1:$PORT"
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+        echo "dispatch-soak: FAIL: schedd never became healthy" >&2
+        cat "$workdir/schedd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+echo "dispatch-soak: driving $SESSIONS streaming sessions ($BATCHES Poisson batches each)"
+# -retries absorbs transient 429s from the admission gate under the
+# thundering herd of session creates; validator failures and missed
+# deadlines still exit nonzero, and those are the invariants this soak
+# exists to enforce.
+"$workdir/schedload" -addr "$base" -stream \
+    -sessions "$SESSIONS" -batches "$BATCHES" -rate "$RATE" \
+    -retries 5 -seed "$SEED" | tee "$workdir/stream.out"
+
+if ! kill -0 "$server_pid" 2>/dev/null; then
+    echo "dispatch-soak: FAIL: schedd crashed during the soak" >&2
+    cat "$workdir/schedd.log" >&2
+    exit 1
+fi
+if ! grep -q "validator:  0 failures" "$workdir/stream.out"; then
+    echo "dispatch-soak: FAIL: validator failures in committed schedules" >&2
+    exit 1
+fi
+if ! grep -q "ratio:" "$workdir/stream.out"; then
+    echo "dispatch-soak: FAIL: no competitive ratios reported" >&2
+    exit 1
+fi
+
+metrics="$(curl -fsS "$base/metrics")"
+echo "$metrics" | grep -E "schedd_sessions_opened_total|schedd_session_replans_total|schedd_session_replan_latency_ms" \
+    || { echo "dispatch-soak: FAIL: session metrics missing from /metrics" >&2; exit 1; }
+if ! echo "$metrics" | grep -q 'schedd_session_replans_total [1-9]'; then
+    echo "dispatch-soak: FAIL: no replans recorded — soak proved nothing" >&2
+    exit 1
+fi
+
+# Open one more session with a live SSE subscriber, then SIGTERM: drain
+# must run the session to horizon, deliver the final event, and close
+# the stream gracefully (curl exits 0 only on a server-side close).
+sid="$(curl -fsS "$base/v1/sessions" \
+    -d '{"algorithm":"ReplanDER","cores":2,"model":{"alpha":3}}' \
+    | sed 's/.*"id":"\([^"]*\)".*/\1/')"
+curl -sS -N --max-time 30 "$base/v1/sessions/$sid/events" \
+    >"$workdir/sse.out" 2>/dev/null &
+sse_pid=$!
+sleep 0.3
+curl -fsS "$base/v1/sessions/$sid/tasks" \
+    -d '{"tasks":[{"release":0,"work":4,"deadline":8},{"release":0,"work":2,"deadline":6}]}' \
+    >/dev/null
+
+echo "dispatch-soak: draining schedd with a live SSE subscriber"
+kill -TERM "$server_pid"
+i=0
+while kill -0 "$server_pid" 2>/dev/null; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "dispatch-soak: FAIL: schedd did not exit after SIGTERM" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+server_pid=""
+
+if ! wait "$sse_pid"; then
+    echo "dispatch-soak: FAIL: SSE stream dropped instead of closing gracefully" >&2
+    cat "$workdir/sse.out" >&2
+    exit 1
+fi
+sse_pid=""
+if ! grep -q "event: final" "$workdir/sse.out"; then
+    echo "dispatch-soak: FAIL: subscriber never received the final event on drain" >&2
+    cat "$workdir/sse.out" >&2
+    exit 1
+fi
+if ! grep -q ": stream closed" "$workdir/sse.out"; then
+    echo "dispatch-soak: FAIL: stream ended without the graceful terminator" >&2
+    cat "$workdir/sse.out" >&2
+    exit 1
+fi
+
+echo "dispatch-soak: PASS — no crashes, no invalid prefixes, clean SSE drain"
