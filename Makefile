@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke chaos dispatch-soak dispatch-soak-smoke vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
+.PHONY: all vet build test race fuzz-smoke chaos dispatch-soak dispatch-soak-smoke cluster-smoke vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
 
 all: build
 
@@ -40,6 +40,13 @@ dispatch-soak:
 dispatch-soak-smoke:
 	SOAK_SESSIONS=8 SOAK_BATCHES=8 SOAK_BUILDFLAGS=-race sh scripts/dispatch_soak.sh
 
+# Cluster smoke: 3 schedd backends behind a schedrouter, >= 50
+# concurrent streaming sessions through the router, one backend
+# SIGKILLed mid-run. All sessions must finish via snapshot/restore
+# migration with 0 validator failures and 0 SSE sequence gaps.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
+
 # Known-vulnerability scan, skipped quietly where the tool isn't
 # installed (it needs network access to fetch the vuln DB).
 vulncheck:
@@ -49,7 +56,7 @@ vulncheck:
 		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet build test race fuzz-smoke conform-smoke dispatch-soak-smoke cover vulncheck
+ci: vet build test race fuzz-smoke conform-smoke dispatch-soak-smoke cluster-smoke cover vulncheck
 
 # Full metamorphic conformance matrix (nightly soak): every registered
 # scheduler × every generator regime × every relation, with minimized
@@ -91,12 +98,12 @@ loadtest:
 BENCH_OUT ?= BENCH_pr4.json
 BENCH_PREV ?=
 bench:
-	$(GO) run ./cmd/schedbench -out $(BENCH_OUT) $(if $(BENCH_PREV),-prev $(BENCH_PREV))
+	$(GO) run ./cmd/schedbench -o $(BENCH_OUT) $(if $(BENCH_PREV),-prev $(BENCH_PREV))
 
 # Small-case benchmark smoke for CI: exercises the matrix end to end
 # without meaningful machine-time cost.
 bench-smoke:
-	$(GO) run ./cmd/schedbench -quick -out bench-smoke.json
+	$(GO) run ./cmd/schedbench -quick -o bench-smoke.json
 	cat bench-smoke.json
 
 clean:

@@ -20,7 +20,6 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -29,6 +28,7 @@ import (
 	"syscall"
 
 	"repro/easched"
+	"repro/internal/cliflag"
 	"repro/internal/fuzzenc"
 	"repro/internal/metamorphic"
 	"repro/internal/task"
@@ -43,22 +43,24 @@ import (
 )
 
 func main() {
+	fs := cliflag.New("conform")
 	var (
-		instances  = flag.Int("instances", 10000, "instances across the matrix (nightly bar is >= 10000)")
-		seed       = flag.Int64("seed", 1, "base RNG seed; instance k replays from seed+k")
-		maxTasks   = flag.Int("tasks", 0, "max tasks per instance (0 = suite default)")
-		maxCores   = flag.Int("cores", 0, "max cores per instance (0 = suite default)")
-		regimes    = flag.String("regimes", "", "comma-separated generator regimes (empty = all)")
-		relations  = flag.String("relations", "", "comma-separated relation names (empty = all)")
-		schedulers = flag.String("schedulers", "", "comma-separated scheduler names (empty = all registered)")
-		out        = flag.String("o", "", "write the JSON conformance report to this file")
-		corpus     = flag.String("corpus", "", "write violating instances into this fuzz corpus directory")
-		minimize   = flag.Bool("minimize", true, "shrink violating instances to minimal reproducers")
-		smoke      = flag.Bool("smoke", false, "small PR-time matrix (overrides -instances/-tasks)")
-		listRels   = flag.Bool("list", false, "list relations with their justifications and exit")
-		verbose    = flag.Bool("v", false, "progress output")
+		instances  = fs.Int("instances", 10000, "instances across the matrix (nightly bar is >= 10000)")
+		seed       = fs.Int64("seed", 1, "base RNG seed; instance k replays from seed+k")
+		maxTasks   = fs.Int("max-tasks", 0, "max tasks per instance (0 = suite default)")
+		maxCores   = fs.Int("cores", 0, "max cores per instance (0 = suite default)")
+		regimes    = fs.String("regimes", "", "comma-separated generator regimes (empty = all)")
+		relations  = fs.String("relations", "", "comma-separated relation names (empty = all)")
+		schedulers = fs.String("schedulers", "", "comma-separated scheduler names (empty = all registered)")
+		out        = fs.String("o", "", "write the JSON conformance report to this file")
+		corpus     = fs.String("corpus", "", "write violating instances into this fuzz corpus directory")
+		minimize   = fs.Bool("minimize", true, "shrink violating instances to minimal reproducers")
+		smoke      = fs.Bool("smoke", false, "small PR-time matrix (overrides -instances/-max-tasks)")
+		listRels   = fs.Bool("list", false, "list relations with their justifications and exit")
+		verbose    = fs.Bool("v", false, "progress output")
 	)
-	flag.Parse()
+	fs.Alias("max-tasks", "tasks")
+	fs.Parse(os.Args[1:])
 
 	if *listRels {
 		for _, r := range easched.ConformRelations() {

@@ -8,16 +8,16 @@
 // Usage:
 //
 //	crosscheck -n 200 -seed 1
-//	crosscheck -n 50 -tasks 30 -cores 6 -v
+//	crosscheck -n 50 -ntasks 30 -cores 6 -v
 package main
 
 import (
-	"flag"
 	"fmt"
 	"math"
 	"os"
 
 	"repro/internal/check"
+	"repro/internal/cliflag"
 	"repro/internal/core"
 	"repro/internal/interval"
 	"repro/internal/online"
@@ -34,14 +34,17 @@ import (
 var verbose bool
 
 func main() {
+	fs := cliflag.New("crosscheck")
 	var (
-		n     = flag.Int("n", 100, "number of random instances")
-		seed  = flag.Int64("seed", 1, "base RNG seed")
-		tasks = flag.Int("tasks", 0, "tasks per instance (0 = random 5..25)")
-		cores = flag.Int("cores", 0, "cores (0 = random 2..6)")
+		n     = fs.Int("n", 100, "number of random instances")
+		seed  = fs.Int64("seed", 1, "base RNG seed")
+		tasks = fs.Int("ntasks", 0, "tasks per instance (0 = random 5..25)")
+		cores = fs.Int("cores", 0, "cores (0 = random 2..6)")
+		vFlag = fs.Bool("v", false, "log each instance")
 	)
-	flag.BoolVar(&verbose, "v", false, "log each instance")
-	flag.Parse()
+	fs.Alias("ntasks", "tasks")
+	fs.Parse(os.Args[1:])
+	verbose = *vFlag
 
 	stream := stats.NewStream(*seed)
 	failures := 0

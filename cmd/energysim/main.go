@@ -19,7 +19,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"os"
 	"os/signal"
@@ -27,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/experiments"
 	"repro/internal/opt"
 	"repro/internal/plot"
@@ -35,22 +35,23 @@ import (
 )
 
 func main() {
+	fs := cliflag.New("energysim")
 	var (
-		list    = flag.Bool("list", false, "list available experiments and exit")
-		exp     = flag.String("exp", "", "experiment ID to run (see -list)")
-		all     = flag.Bool("all", false, "run every registered experiment")
-		reps    = flag.Int("reps", 100, "replications per sweep point")
-		seed    = flag.Int64("seed", 20140901, "base RNG seed")
-		workers = flag.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
-		quick   = flag.Bool("quick", false, "fast mode: 10 replications, looser optimal solver")
-		optIter = flag.Int("opt-iters", 3000, "Frank-Wolfe iteration cap for the optimal solver")
-		optGap  = flag.Float64("opt-gap", 1e-5, "relative duality-gap target for the optimal solver")
-		doPlot  = flag.Bool("plot", false, "render an ASCII line chart under each table")
-		csvDir  = flag.String("csv", "", "directory to write per-experiment CSV files into")
-		mdFile  = flag.String("md", "", "append a Markdown section per experiment to this file")
-		custom  = flag.String("custom", "", "run a custom sweep from a JSON config file (see experiments.CustomSweep)")
+		list    = fs.Bool("list", false, "list available experiments and exit")
+		exp     = fs.String("exp", "", "experiment ID to run (see -list)")
+		all     = fs.Bool("all", false, "run every registered experiment")
+		reps    = fs.Int("reps", 100, "replications per sweep point")
+		seed    = fs.Int64("seed", 20140901, "base RNG seed")
+		workers = fs.Int("workers", 0, "parallel replications (0 = GOMAXPROCS)")
+		quick   = fs.Bool("quick", false, "fast mode: 10 replications, looser optimal solver")
+		optIter = fs.Int("opt-iters", 3000, "Frank-Wolfe iteration cap for the optimal solver")
+		optGap  = fs.Float64("opt-gap", 1e-5, "relative duality-gap target for the optimal solver")
+		doPlot  = fs.Bool("plot", false, "render an ASCII line chart under each table")
+		csvDir  = fs.String("csv", "", "directory to write per-experiment CSV files into")
+		mdFile  = fs.String("md", "", "append a Markdown section per experiment to this file")
+		custom  = fs.String("custom", "", "run a custom sweep from a JSON config file (see experiments.CustomSweep)")
 	)
-	flag.Parse()
+	fs.Parse(os.Args[1:])
 
 	if *list {
 		for _, d := range experiments.All() {
@@ -109,7 +110,7 @@ func main() {
 		}
 		exitOnErr(d.ID, runOne(d, cfg, opts))
 	default:
-		flag.Usage()
+		fs.Usage()
 		os.Exit(2)
 	}
 }

@@ -29,7 +29,6 @@ package main
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"math/rand"
 	"os"
@@ -38,6 +37,7 @@ import (
 	"time"
 
 	"repro/easched"
+	"repro/internal/cliflag"
 	"repro/internal/interval"
 	"repro/internal/opt"
 	"repro/internal/power"
@@ -94,13 +94,15 @@ type benchCase struct {
 }
 
 func main() {
+	fs := cliflag.New("schedbench")
 	var (
-		out   = flag.String("out", "BENCH_pr4.json", "output JSON path")
-		prev  = flag.String("prev", "", "previous report whose results become the baseline block")
-		quick = flag.Bool("quick", false, "run only the small cases (CI smoke)")
-		note  = flag.String("note", "", "free-form annotation stored in the report")
+		out   = fs.String("o", "BENCH_pr4.json", "output JSON path")
+		prev  = fs.String("prev", "", "previous report whose results become the baseline block")
+		quick = fs.Bool("quick", false, "run only the small cases (CI smoke)")
+		note  = fs.String("note", "", "free-form annotation stored in the report")
 	)
-	flag.Parse()
+	fs.Alias("o", "out")
+	fs.Parse(os.Args[1:])
 
 	cases := matrix()
 	rep := Report{

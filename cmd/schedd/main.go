@@ -47,7 +47,6 @@ package main
 import (
 	"context"
 	"errors"
-	"flag"
 	"fmt"
 	"io"
 	"log"
@@ -59,6 +58,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cliflag"
 	"repro/internal/fault"
 	"repro/internal/server"
 )
@@ -74,31 +74,32 @@ func envDefault(flagVal, env string) string {
 }
 
 func main() {
+	fs := cliflag.New("schedd")
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
-		queue    = flag.Int("queue", 64, "admission-queue depth before 429")
-		cache    = flag.Int("cache", 1024, "solve-cache capacity (-1 disables)")
-		timeout  = flag.Duration("timeout", 5*time.Second, "per-request solve deadline")
-		maxTasks = flag.Int("max-tasks", 10000, "reject larger instances with 400")
-		noVerify = flag.Bool("no-verify", false, "skip the in-band schedule verification guardrail")
-		grace    = flag.Duration("grace", 5*time.Second, "drain timeout on shutdown")
-		quiet    = flag.Bool("quiet", false, "suppress per-request log lines")
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "concurrent solves (0 = GOMAXPROCS)")
+		queue    = fs.Int("queue", 64, "admission-queue depth before 429")
+		cache    = fs.Int("cache", 1024, "solve-cache capacity (-1 disables)")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request solve deadline")
+		maxTasks = fs.Int("max-tasks", 10000, "reject larger instances with 400")
+		noVerify = fs.Bool("no-verify", false, "skip the in-band schedule verification guardrail")
+		grace    = fs.Duration("grace", 5*time.Second, "drain timeout on shutdown")
+		quiet    = fs.Bool("quiet", false, "suppress per-request log lines")
 
-		fallbackAlg = flag.String("fallback", "", `fallback algorithm for failed solves ("" = MaxFreq, "none" disables)`)
-		brThreshold = flag.Int("breaker-threshold", 0, "consecutive failures that open an algorithm's breaker (0 = default 5, negative disables)")
-		brCooldown  = flag.Duration("breaker-cooldown", 0, "initial open-breaker cooldown before a half-open probe (0 = default 2s)")
-		brMax       = flag.Duration("breaker-max-cooldown", 0, "cap on the exponentially growing cooldown (0 = default 30s)")
+		fallbackAlg = fs.String("fallback", "", `fallback algorithm for failed solves ("" = MaxFreq, "none" disables)`)
+		brThreshold = fs.Int("breaker-threshold", 0, "consecutive failures that open an algorithm's breaker (0 = default 5, negative disables)")
+		brCooldown  = fs.Duration("breaker-cooldown", 0, "initial open-breaker cooldown before a half-open probe (0 = default 2s)")
+		brMax       = fs.Duration("breaker-max-cooldown", 0, "cap on the exponentially growing cooldown (0 = default 30s)")
 
-		sessionLimit   = flag.Int("sessions", 0, "max concurrent streaming sessions (0 = default 256)")
-		sessionTTL     = flag.Duration("session-ttl", 0, "evict sessions idle longer than this (0 disables)")
-		sessionBacklog = flag.Int("session-backlog", 0, "default per-session backlog before load-shedding (0 = default 1024)")
+		sessionLimit   = fs.Int("sessions", 0, "max concurrent streaming sessions (0 = default 256)")
+		sessionTTL     = fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 disables)")
+		sessionBacklog = fs.Int("session-backlog", 0, "default per-session backlog before load-shedding (0 = default 1024)")
 
-		faultSpec  = flag.String("faults", "", "fault-injection spec point=rate,... (env SCHEDD_FAULTS); empty disables")
-		faultSeed  = flag.Int64("fault-seed", 0, "fault-injection RNG seed (env SCHEDD_FAULT_SEED; 0 = 1)")
-		faultDelay = flag.Duration("fault-delay", 0, "duration of injected solver_delay faults (0 = default 100ms)")
+		faultSpec  = fs.String("faults", "", "fault-injection spec point=rate,... (env SCHEDD_FAULTS); empty disables")
+		faultSeed  = fs.Int64("fault-seed", 0, "fault-injection RNG seed (env SCHEDD_FAULT_SEED; 0 = 1)")
+		faultDelay = fs.Duration("fault-delay", 0, "duration of injected solver_delay faults (0 = default 100ms)")
 	)
-	flag.Parse()
+	fs.Parse(os.Args[1:])
 
 	logOut := io.Writer(os.Stderr)
 	if *quiet {

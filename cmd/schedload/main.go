@@ -41,7 +41,6 @@ package main
 import (
 	"bytes"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"math/rand"
@@ -56,6 +55,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/cliflag"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/server/wire"
@@ -73,44 +73,57 @@ type stats struct {
 }
 
 func main() {
+	fs := cliflag.New("schedload")
 	var (
-		addr      = flag.String("addr", "http://127.0.0.1:8080", "schedd base URL")
-		conc      = flag.Int("c", 16, "concurrent connections")
-		duration  = flag.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
-		count     = flag.Int64("n", 0, "total requests (0 = run for -duration)")
-		algorithm = flag.String("algorithm", "S^F2", "algorithm name (see GET /v1/algorithms)")
-		cores     = flag.Int("cores", 4, "core count m")
-		alpha     = flag.Float64("alpha", 3, "power-model exponent")
-		p0        = flag.Float64("p0", 0.05, "power-model static term")
-		gamma     = flag.Float64("gamma", 1, "power-model coefficient")
-		ntasks    = flag.Int("ntasks", 20, "tasks per generated instance")
-		distinct  = flag.Int("distinct", 16, "distinct generated instances cycled round-robin")
-		seed      = flag.Int64("seed", 1, "workload RNG seed")
-		tasksFile = flag.String("tasks", "", "replay one instance from a JSON/CSV file instead of generating")
-		noVerify  = flag.Bool("no-verify", false, "skip client-side schedule validation")
-		timeout   = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
-		retries   = flag.Int("retries", 0, "retry budget per request for transient failures (429/502/503/504/transport)")
-		tolerate  = flag.Bool("tolerate-errors", false, "exit 0 despite HTTP errors (validator failures still fail the run)")
+		addr      = fs.String("addr", "http://127.0.0.1:8080", "schedd base URL")
+		conc      = fs.Int("c", 16, "concurrent connections")
+		duration  = fs.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
+		count     = fs.Int64("n", 0, "total requests (0 = run for -duration)")
+		algorithm = fs.String("algorithm", "S^F2", "algorithm name (see GET /v1/algorithms)")
+		cores     = fs.Int("cores", 4, "core count m")
+		alpha     = fs.Float64("alpha", 3, "power-model exponent")
+		p0        = fs.Float64("p0", 0.05, "power-model static term")
+		gamma     = fs.Float64("gamma", 1, "power-model coefficient")
+		ntasks    = fs.Int("ntasks", 20, "tasks per generated instance")
+		distinct  = fs.Int("distinct", 16, "distinct generated instances cycled round-robin")
+		seed      = fs.Int64("seed", 1, "workload RNG seed")
+		tasksFile = fs.String("tasks", "", "replay one instance from a JSON/CSV file instead of generating")
+		noVerify  = fs.Bool("no-verify", false, "skip client-side schedule validation")
+		timeout   = fs.Duration("timeout", 10*time.Second, "per-request client timeout")
+		retries   = fs.Int("retries", 0, "retry budget per request for transient failures (429/502/503/504/transport)")
+		tolerate  = fs.Bool("tolerate-errors", false, "exit 0 despite HTTP errors (validator failures still fail the run)")
 
-		stream     = flag.Bool("stream", false, "streaming-session mode: drive concurrent /v1/sessions lifecycles instead of one-shot solves")
-		sessions   = flag.Int("sessions", 8, "concurrent streaming sessions (-stream)")
-		process    = flag.String("process", "poisson", "arrival process per session: poisson or bursty (-stream)")
-		batches    = flag.Int("batches", 20, "arrival batches per session (-stream)")
-		rate       = flag.Float64("rate", 0.5, "mean batch-arrival rate per time unit (-stream)")
-		batchLo    = flag.Int("batch-lo", 1, "min tasks per arrival batch (-stream)")
-		batchHi    = flag.Int("batch-hi", 3, "max tasks per arrival batch (-stream)")
-		regime     = flag.String("regime", "", "generator-zoo regime shaping batch contents (-stream)")
-		debounceMS = flag.Float64("debounce-ms", 0, "server-side arrival-coalescing window (-stream)")
-		traceFile  = flag.String("trace", "", "replay a taskgen -arrivals JSON trace in every session (-stream)")
+		stream     = fs.Bool("stream", false, "streaming-session mode: drive concurrent /v1/sessions lifecycles instead of one-shot solves")
+		sessions   = fs.Int("sessions", 8, "concurrent streaming sessions (-stream)")
+		process    = fs.String("process", "poisson", "arrival process per session: poisson or bursty (-stream)")
+		batches    = fs.Int("batches", 20, "arrival batches per session (-stream)")
+		rate       = fs.Float64("rate", 0.5, "mean batch-arrival rate per time unit (-stream)")
+		batchLo    = fs.Int("batch-lo", 1, "min tasks per arrival batch (-stream)")
+		batchHi    = fs.Int("batch-hi", 3, "max tasks per arrival batch (-stream)")
+		regime     = fs.String("regime", "", "generator-zoo regime shaping batch contents (-stream)")
+		debounceMS = fs.Float64("debounce-ms", 0, "server-side arrival-coalescing window (-stream)")
+		traceFile  = fs.String("trace", "", "replay a taskgen -arrivals JSON trace in every session (-stream)")
+
+		router = fs.Bool("router", false, "cluster soak mode: the target is a schedrouter; retry through migrations (default -retries 4) and require gapless SSE ids")
 	)
-	flag.Parse()
+	fs.Parse(os.Args[1:])
+
+	// Cluster soak mode: migrations surface as transient 503s at the
+	// router, so give the client a retry budget unless one was chosen.
+	if *router {
+		retriesSet := false
+		fs.Visit(func(name string) { retriesSet = retriesSet || name == "retries" })
+		if !retriesSet {
+			*retries = 4
+		}
+	}
 
 	if *stream {
 		// One-shot solves default to the paper's S^F2; streaming sessions
 		// default to the online ReplanDER policy unless -algorithm is set.
 		algo := "ReplanDER"
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "algorithm" {
+		fs.Visit(func(name string) {
+			if name == "algorithm" {
 				algo = *algorithm
 			}
 		})

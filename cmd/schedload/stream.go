@@ -3,6 +3,7 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,9 +61,11 @@ type sessionOutcome struct {
 	violations  int
 	ratio       float64 // 0 when the optimum was skipped or failed
 	events      int
+	seqGaps     int // SSE id discontinuities (must be 0, even across migrations)
 	finalEvent  bool
 	streamClean bool
-	err         string
+	err         string // written by driveSession only
+	sseErr      string // written by the consumeSSE goroutine only
 }
 
 // runStream drives N concurrent streaming sessions end to end: create,
@@ -211,11 +215,18 @@ func driveSession(cfg streamConfig, client, sseClient *http.Client, tr task.Trac
 	out.id = created.ID
 
 	// SSE consumer: counts events and watches for the final report; the
-	// stream must end cleanly (server-side close) after DELETE.
+	// stream must end cleanly (server-side close) after DELETE. Every
+	// exit path joins the consumer before returning — it writes to out,
+	// which the caller reads after the WaitGroup drains.
+	sseCtx, sseCancel := context.WithCancel(context.Background())
 	sseDone := make(chan struct{})
 	go func() {
 		defer close(sseDone)
-		consumeSSE(sseClient, base+"/v1/sessions/"+created.ID+"/events", out)
+		consumeSSE(sseCtx, sseClient, base+"/v1/sessions/"+created.ID+"/events", out)
+	}()
+	defer func() {
+		sseCancel()
+		<-sseDone
 	}()
 
 	for _, a := range tr {
@@ -280,30 +291,47 @@ func driveSession(cfg streamConfig, client, sseClient *http.Client, tr task.Trac
 	}
 }
 
-// consumeSSE reads a text/event-stream until the server closes it,
-// tallying events into out.
-func consumeSSE(client *http.Client, url string, out *sessionOutcome) {
-	resp, err := client.Get(url)
+// consumeSSE reads a text/event-stream until the server closes it (or
+// ctx cancels the subscription), tallying events into out.
+func consumeSSE(ctx context.Context, client *http.Client, url string, out *sessionOutcome) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
-		out.err = fmt.Sprintf("events: %v", err)
+		out.sseErr = fmt.Sprintf("events: %v", err)
+		return
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		if ctx.Err() == nil {
+			out.sseErr = fmt.Sprintf("events: %v", err)
+		}
 		return
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		out.err = fmt.Sprintf("events: HTTP %d", resp.StatusCode)
+		out.sseErr = fmt.Sprintf("events: HTTP %d", resp.StatusCode)
 		return
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var data []byte
+	var id, lastID int64 = 0, 0
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
+		case strings.HasPrefix(line, "id: "):
+			id, _ = strconv.ParseInt(strings.TrimPrefix(line, "id: "), 10, 64)
 		case strings.HasPrefix(line, "data: "):
 			data = []byte(strings.TrimPrefix(line, "data: "))
 		case strings.HasPrefix(line, ": stream closed"):
 			out.streamClean = true
 		case line == "" && data != nil:
+			// Event ids must be gapless 1,2,3,... — both from schedd
+			// directly and through the router across a migration; a skip
+			// means a lost event, a repeat means a duplicated one.
+			if id != lastID+1 {
+				out.seqGaps++
+			}
+			lastID = id
 			var ev wire.SessionEvent
 			if json.Unmarshal(data, &ev) == nil {
 				out.events++
@@ -321,7 +349,7 @@ func consumeSSE(client *http.Client, url string, out *sessionOutcome) {
 // reportStream prints the aggregate summary and returns the exit code.
 func reportStream(outcomes []*sessionOutcome, elapsed time.Duration, tolerate bool) int {
 	var sessionsOK, tasks, admitted, shed, replans, completed, missed, violations, events int
-	var dirtyStreams, noFinal int
+	var dirtyStreams, noFinal, seqGaps int
 	var ratios []float64
 	firstErr := ""
 	for _, o := range outcomes {
@@ -333,10 +361,15 @@ func reportStream(outcomes []*sessionOutcome, elapsed time.Duration, tolerate bo
 		missed += o.missed
 		violations += o.violations
 		events += o.events
-		if o.err == "" {
+		seqGaps += o.seqGaps
+		errMsg := o.err
+		if errMsg == "" {
+			errMsg = o.sseErr
+		}
+		if errMsg == "" {
 			sessionsOK++
 		} else if firstErr == "" {
-			firstErr = fmt.Sprintf("session %s: %s", o.id, o.err)
+			firstErr = fmt.Sprintf("session %s: %s", o.id, errMsg)
 		}
 		if !o.streamClean {
 			dirtyStreams++
@@ -352,8 +385,8 @@ func reportStream(outcomes []*sessionOutcome, elapsed time.Duration, tolerate bo
 	fmt.Printf("tasks:      %d sent, %d admitted, %d shed, %d completed, %d missed deadlines\n",
 		tasks, admitted, shed, completed, missed)
 	fmt.Printf("replans:    %d total (%.1f per session)\n", replans, float64(replans)/float64(len(outcomes)))
-	fmt.Printf("events:     %d received, %d sessions without final event, %d streams closed uncleanly\n",
-		events, noFinal, dirtyStreams)
+	fmt.Printf("events:     %d received, %d seq gaps, %d sessions without final event, %d streams closed uncleanly\n",
+		events, seqGaps, noFinal, dirtyStreams)
 	fmt.Printf("validator:  %d failures\n", violations)
 	if len(ratios) > 0 {
 		sort.Float64s(ratios)
@@ -368,9 +401,9 @@ func reportStream(outcomes []*sessionOutcome, elapsed time.Duration, tolerate bo
 		fmt.Printf("first error: %s\n", firstErr)
 	}
 
-	// An invalid schedule or a missed deadline is never tolerable; other
-	// failures respect -tolerate-errors.
-	if violations > 0 || missed > 0 {
+	// An invalid schedule, a missed deadline, or an SSE sequence gap is
+	// never tolerable; other failures respect -tolerate-errors.
+	if violations > 0 || missed > 0 || seqGaps > 0 {
 		return 1
 	}
 	if (sessionsOK < len(outcomes) || dirtyStreams > 0 || noFinal > 0) && !tolerate {

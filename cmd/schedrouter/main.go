@@ -1,0 +1,110 @@
+// Command schedrouter is the cluster routing tier: a single HTTP front
+// door for a fleet of schedd backends (see internal/cluster).
+//
+// Usage:
+//
+//	schedrouter -backends http://127.0.0.1:8081,http://127.0.0.1:8082 \
+//	    [-addr :8080] [-timeout 10s] [-health-interval 500ms]
+//	    [-health-failures 2] [-retries N] [-breaker-threshold 5]
+//	    [-breaker-cooldown 2s] [-breaker-max-cooldown 30s]
+//	    [-grace 5s] [-quiet]
+//
+// One-shot solves (/v1/schedule, /v1/schedule/batch, /v1/feasible) are
+// load-balanced across healthy backends with bounded retries behind
+// per-backend circuit breakers. Streaming sessions are sharded by
+// rendezvous hashing on the session ID; when a backend fails its
+// readyz probes, its sessions migrate to the next backend in their
+// preference order via the dispatch snapshot/restore path, and SSE
+// streams resume with no client-visible sequence gaps.
+//
+// Endpoints mirror schedd's v1 surface plus the router's own /healthz,
+// /readyz (503 while draining or with zero healthy backends), and
+// /metrics (per-backend counters, breaker states, migration totals,
+// proxy latency histogram).
+//
+// SIGINT/SIGTERM drain gracefully: new work is rejected with 503,
+// streams are closed with the SSE terminator, and in-flight proxies
+// get the grace timeout to finish.
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/cluster"
+)
+
+func main() {
+	fs := cliflag.New("schedrouter")
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		backends    = fs.String("backends", "", "comma-separated schedd base URLs (required)")
+		timeout     = fs.Duration("timeout", 10*time.Second, "per-proxied-request deadline (streams exempt)")
+		healthIv    = fs.Duration("health-interval", 500*time.Millisecond, "backend readyz polling period")
+		healthFails = fs.Int("health-failures", 2, "consecutive readyz failures that mark a backend down")
+		retries     = fs.Int("retries", 0, "extra backends tried per one-shot request (0 = all others)")
+		brThreshold = fs.Int("breaker-threshold", 0, "consecutive proxy failures that open a backend's breaker (0 = default 5, negative disables)")
+		brCooldown  = fs.Duration("breaker-cooldown", 0, "initial open-breaker cooldown (0 = default 2s)")
+		brMax       = fs.Duration("breaker-max-cooldown", 0, "cap on the growing cooldown (0 = default 30s)")
+		grace       = fs.Duration("grace", 5*time.Second, "drain timeout on shutdown")
+		quiet       = fs.Bool("quiet", false, "suppress router log lines")
+	)
+	fs.Parse(os.Args[1:])
+
+	var list []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			list = append(list, b)
+		}
+	}
+	if len(list) == 0 {
+		fmt.Fprintln(os.Stderr, "schedrouter: -backends is required")
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	logOut := io.Writer(os.Stderr)
+	if *quiet {
+		logOut = io.Discard
+	}
+	logger := log.New(logOut, "schedrouter ", log.LstdFlags|log.Lmicroseconds)
+
+	rt, err := cluster.New(cluster.Config{
+		Addr:               *addr,
+		Backends:           list,
+		Timeout:            *timeout,
+		HealthInterval:     *healthIv,
+		HealthFailures:     *healthFails,
+		Retries:            *retries,
+		BreakerThreshold:   *brThreshold,
+		BreakerCooldown:    *brCooldown,
+		BreakerMaxCooldown: *brMax,
+		GraceTimeout:       *grace,
+		Logger:             logger,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedrouter: %v\n", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	fmt.Fprintf(os.Stderr, "schedrouter: listening on %s (backends=%d timeout=%s health=%s/%d)\n",
+		*addr, len(list), *timeout, *healthIv, *healthFails)
+	if err := rt.ListenAndServe(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "schedrouter: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "schedrouter: bye")
+}

@@ -15,28 +15,29 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"os"
 
 	"repro/easched"
+	"repro/internal/cliflag"
 	"repro/internal/interval"
 	"repro/internal/task"
 	"repro/internal/trace"
 )
 
 func main() {
+	fs := cliflag.New("schedviz")
 	var (
-		file    = flag.String("tasks", "", "JSON task file (default: built-in example)")
-		example = flag.String("example", "sectionVD", "built-in example: sectionVD or fig1")
-		cores   = flag.Int("cores", 4, "number of cores")
-		alpha   = flag.Float64("alpha", 3, "dynamic power exponent α")
-		p0      = flag.Float64("p0", 0, "static power p0")
-		width   = flag.Int("width", 72, "Gantt chart width in columns")
-		traceF  = flag.String("trace", "", "write the DER final schedule as a Chrome trace to this file")
-		csvF    = flag.String("segcsv", "", "write the DER final schedule's segments as CSV to this file")
+		file    = fs.String("tasks", "", "JSON task file (default: built-in example)")
+		example = fs.String("example", "sectionVD", "built-in example: sectionVD or fig1")
+		cores   = fs.Int("cores", 4, "number of cores")
+		alpha   = fs.Float64("alpha", 3, "dynamic power exponent α")
+		p0      = fs.Float64("p0", 0, "static power p0")
+		width   = fs.Int("width", 72, "Gantt chart width in columns")
+		traceF  = fs.String("trace", "", "write the DER final schedule as a Chrome trace to this file")
+		csvF    = fs.String("segcsv", "", "write the DER final schedule's segments as CSV to this file")
 	)
-	flag.Parse()
+	fs.Parse(os.Args[1:])
 
 	ts, err := loadTasks(*file, *example)
 	if err != nil {

@@ -25,7 +25,6 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"math/rand"
@@ -33,31 +32,33 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/cliflag"
 	"repro/internal/task"
 )
 
 func main() {
+	fs := cliflag.New("taskgen")
 	var (
-		n           = flag.Int("n", 20, "number of tasks")
-		seed        = flag.Int64("seed", 1, "RNG seed")
-		profile     = flag.String("profile", "paper", "workload profile: paper or xscale")
-		out         = flag.String("o", "", "output file (default stdout)")
-		format      = flag.String("format", "", "output format: json or csv (default json, or inferred from -o extension)")
-		releaseHi   = flag.Float64("release-hi", 0, "override release upper bound")
-		workLo      = flag.Float64("work-lo", 0, "override work lower bound")
-		workHi      = flag.Float64("work-hi", 0, "override work upper bound")
-		intensityLo = flag.Float64("intensity-lo", 0, "override intensity lower bound")
-		intensityHi = flag.Float64("intensity-hi", 0, "override intensity upper bound")
-		grid        = flag.Bool("grid", false, "draw intensities from the {0.1,...,1.0} grid")
+		n           = fs.Int("n", 20, "number of tasks")
+		seed        = fs.Int64("seed", 1, "RNG seed")
+		profile     = fs.String("profile", "paper", "workload profile: paper or xscale")
+		out         = fs.String("o", "", "output file (default stdout)")
+		format      = fs.String("format", "", "output format: json or csv (default json, or inferred from -o extension)")
+		releaseHi   = fs.Float64("release-hi", 0, "override release upper bound")
+		workLo      = fs.Float64("work-lo", 0, "override work lower bound")
+		workHi      = fs.Float64("work-hi", 0, "override work upper bound")
+		intensityLo = fs.Float64("intensity-lo", 0, "override intensity lower bound")
+		intensityHi = fs.Float64("intensity-hi", 0, "override intensity upper bound")
+		grid        = fs.Bool("grid", false, "draw intensities from the {0.1,...,1.0} grid")
 
-		arrivals = flag.String("arrivals", "", "emit an arrival trace instead: poisson or bursty")
-		batches  = flag.Int("batches", 50, "arrival batches in the trace")
-		rate     = flag.Float64("rate", 0.5, "mean batch-arrival rate per time unit")
-		batchLo  = flag.Int("batch-lo", 1, "min tasks per arrival batch")
-		batchHi  = flag.Int("batch-hi", 3, "max tasks per arrival batch")
-		regime   = flag.String("regime", "", "generator-zoo regime shaping batch contents (default bursty)")
+		arrivals = fs.String("arrivals", "", "emit an arrival trace instead: poisson or bursty")
+		batches  = fs.Int("batches", 50, "arrival batches in the trace")
+		rate     = fs.Float64("rate", 0.5, "mean batch-arrival rate per time unit")
+		batchLo  = fs.Int("batch-lo", 1, "min tasks per arrival batch")
+		batchHi  = fs.Int("batch-hi", 3, "max tasks per arrival batch")
+		regime   = fs.String("regime", "", "generator-zoo regime shaping batch contents (default bursty)")
 	)
-	flag.Parse()
+	fs.Parse(os.Args[1:])
 
 	if *arrivals != "" {
 		if err := emitTrace(*arrivals, *seed, *batches, *rate, *batchLo, *batchHi, *regime, *out); err != nil {

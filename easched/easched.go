@@ -137,8 +137,9 @@ func FitTable(t *Table) (Model, error) {
 // full plan, including the realized and validated final schedule
 // (res.Final) and its energy (res.FinalEnergy).
 //
-// Legacy wrapper: new code should call Solve, which adds context
+// Deprecated: new code should call [Solve], which adds context
 // cancellation, optimal comparison and quantization behind one Spec.
+// Schedule remains for existing callers and will keep working.
 func Schedule(ts TaskSet, cores int, m Model, method Method) (*Plan, error) {
 	sm := MethodDER
 	if method == Even {
@@ -153,8 +154,9 @@ func Schedule(ts TaskSet, cores int, m Model, method Method) (*Plan, error) {
 
 // ScheduleBoth runs both allocation methods and returns (even, der).
 //
-// Legacy wrapper: new code should call Solve once per method (or
-// SolveBatch for many instances).
+// Deprecated: new code should call [Solve] once per method (or
+// [SolveBatch] for many instances). ScheduleBoth remains for existing
+// callers and will keep working.
 func ScheduleBoth(ts TaskSet, cores int, m Model) (*Plan, *Plan, error) {
 	s, err := core.RunSuite(ts, cores, m, core.Options{Tolerance: 1e-9})
 	if err != nil {
@@ -173,8 +175,9 @@ func SearchCores(ts TaskSet, maxCores int, m Model, method Method) (*core.Search
 // Optimal solves the reformulated convex program (Theorem 1) and returns
 // the optimal energy E^opt with a duality-gap certificate.
 //
-// Legacy wrapper: Solve with Spec.Compare produces the same solution
-// alongside the heuristic schedule (and honors cancellation).
+// Deprecated: [Solve] with Spec.Compare produces the same solution
+// alongside the heuristic schedule (and honors cancellation). Optimal
+// remains for existing callers and will keep working.
 func Optimal(ts TaskSet, cores int, m Model) (*opt.Solution, error) {
 	d, err := interval.Decompose(ts, 1e-9)
 	if err != nil {
@@ -189,8 +192,9 @@ func Ideal(ts TaskSet, m Model) (*ideal.Plan, error) { return ideal.Build(ts, m)
 // YDS runs the classic uniprocessor optimal algorithm and returns the
 // realized schedule and speed profile.
 //
-// Legacy wrapper: Solve with Spec{Method: MethodYDS} returns the same
-// schedule plus its energy under the spec's model.
+// Deprecated: [Solve] with Spec{Method: MethodYDS} returns the same
+// schedule plus its energy under the spec's model. YDS remains for
+// existing callers and will keep working.
 func YDS(ts TaskSet) (*Timetable, *yds.Profile, error) { return yds.Schedule(ts) }
 
 // Quantize maps a continuous schedule onto a processor's discrete

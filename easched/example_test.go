@@ -1,6 +1,7 @@
 package easched_test
 
 import (
+	"context"
 	"fmt"
 
 	"repro/easched"
@@ -122,4 +123,73 @@ func ExampleQuantize() {
 	fmt.Printf("missed: %v\n", a.Missed)
 	// Output:
 	// missed: false
+}
+
+// The current entry point: one Spec in, one unified Report out, with
+// context cancellation and the optimal comparison in the same call.
+// Replaces the deprecated Schedule/ScheduleBoth/Optimal wrappers.
+func ExampleSolve() {
+	tasks := easched.MustTasks(
+		easched.T(0, 8, 10),
+		easched.T(2, 14, 18),
+		easched.T(4, 8, 16),
+		easched.T(6, 4, 14),
+		easched.T(8, 10, 20),
+		easched.T(12, 6, 22),
+	)
+	rep, err := easched.Solve(context.Background(), easched.Spec{
+		Tasks:   tasks,
+		Cores:   4,
+		Model:   easched.NewModel(3, 0),
+		Method:  easched.MethodDER,
+		Compare: true, // also solve the convex program for E^opt
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("E^F2 = %.4f, NEC = %.4f\n", rep.Energy, rep.NEC)
+	// Output:
+	// E^F2 = 31.8362, NEC = 1.0136
+}
+
+// A streaming session: tasks arrive over virtual time, the runtime
+// re-plans the residual workload at each arrival, and Finish accounts
+// the realized schedule against the clairvoyant offline optimum.
+func ExampleNewSession() {
+	s, err := easched.NewSession(easched.SessionConfig{
+		Algorithm: "ReplanDER",
+		Cores:     4,
+		Model:     easched.NewModel(3, 0),
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+
+	ctx := context.Background()
+	// The Section V.D instance, fed in two arrival batches.
+	first := easched.MustTasks(
+		easched.T(0, 8, 10),
+		easched.T(2, 14, 18),
+		easched.T(4, 8, 16),
+	)
+	second := easched.MustTasks(
+		easched.T(6, 4, 14),
+		easched.T(8, 10, 20),
+		easched.T(12, 6, 22),
+	)
+	if _, _, err := s.Arrive(ctx, 0, first); err != nil {
+		panic(err)
+	}
+	if _, _, err := s.Arrive(ctx, 6, second); err != nil {
+		panic(err)
+	}
+	rep, err := s.Finish(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("completed %d tasks, missed %d deadlines, ratio >= 1: %v\n",
+		rep.Completed, len(rep.Missed), rep.CompetitiveRatio >= 1)
+	// Output:
+	// completed 6 tasks, missed 0 deadlines, ratio >= 1: true
 }

@@ -72,7 +72,8 @@ func Hyperperiod(s PeriodicSystem, quantum float64) (float64, error) {
 // the YDS optimal uniprocessor algorithm with a critical-frequency floor.
 // Returns the realized schedule and its energy.
 //
-// Legacy wrapper: prefer Solve with Spec{Method: MethodPartitioned}.
+// Deprecated: prefer [Solve] with Spec{Method: MethodPartitioned}.
+// SchedulePartitioned remains for existing callers and will keep working.
 func SchedulePartitioned(ts TaskSet, cores int, m Model) (*Timetable, float64, error) {
 	return partition.Schedule(ts, cores, m)
 }
@@ -82,7 +83,8 @@ func SchedulePartitioned(ts TaskSet, cores int, m Model) (*Timetable, float64, e
 // between releases. Never misses a deadline; pays an energy premium for
 // not knowing future arrivals.
 //
-// Legacy wrapper: prefer Solve with Spec{Method: MethodOnline}.
+// Deprecated: prefer [Solve] with Spec{Method: MethodOnline}.
+// ScheduleOnline remains for existing callers and will keep working.
 func ScheduleOnline(ts TaskSet, cores int, m Model) (*online.Result, error) {
 	return online.ReplanDER(ts, cores, m)
 }
@@ -130,8 +132,9 @@ var ErrInfeasibleAtCap = capped.ErrInfeasible
 // so no deadline can be missed on any instance that is feasible at the
 // cap (ErrInfeasibleAtCap otherwise).
 //
-// Legacy wrapper: prefer Solve with Spec{Method: MethodCapped,
+// Deprecated: prefer [Solve] with Spec{Method: MethodCapped,
 // FrequencyCap: cap} (which always uses the DER allocation).
+// ScheduleCapped remains for existing callers and will keep working.
 func ScheduleCapped(ts TaskSet, cores int, m Model, method Method, frequencyCap float64) (*CappedPlan, error) {
 	return capped.Schedule(ts, cores, m, method, frequencyCap)
 }

@@ -1,0 +1,68 @@
+package cluster
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+	"sync/atomic"
+
+	"repro/internal/breaker"
+)
+
+// backend is one schedd instance behind the router. Health is owned by
+// the readyz poller; the breaker reacts to proxy outcomes, so a backend
+// can be up-but-breaking (readyz green, requests failing) or
+// down-with-a-closed-breaker (killed before any proxy failure).
+type backend struct {
+	name string   // canonical host:port, the rendezvous hash key
+	base *url.URL // scheme://host:port, no path
+	br   *breaker.Breaker
+
+	up         atomic.Bool
+	consecFail atomic.Int32 // consecutive readyz failures
+
+	inflight atomic.Int64
+	requests atomic.Int64
+	failures atomic.Int64
+}
+
+func newBackend(raw string, cfg Config) (*backend, error) {
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: backend %q: %w", raw, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("cluster: backend %q: unsupported scheme %q", raw, u.Scheme)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("cluster: backend %q: missing host", raw)
+	}
+	u.Path = strings.TrimSuffix(u.Path, "/")
+	if u.Path != "" || u.RawQuery != "" || u.Fragment != "" {
+		return nil, fmt.Errorf("cluster: backend %q: must be a bare base URL", raw)
+	}
+	b := &backend{
+		name: u.Host,
+		base: u,
+	}
+	if cfg.BreakerThreshold > 0 {
+		b.br = breaker.New(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, cfg.Now)
+	}
+	// Backends start up: the first poll tick corrects the optimism within
+	// one HealthInterval, and starting pessimistic would fail every
+	// request in the gap instead.
+	b.up.Store(true)
+	return b, nil
+}
+
+// url joins the backend base with a request path and query.
+func (b *backend) url(path, query string) string {
+	s := b.base.String() + path
+	if query != "" {
+		s += "?" + query
+	}
+	return s
+}

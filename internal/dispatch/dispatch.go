@@ -45,6 +45,9 @@ var (
 	// deadline not after its effective release). The whole batch is
 	// rejected; nothing is admitted.
 	ErrBadArrival = errors.New("dispatch: invalid arrival")
+	// ErrDuplicateSession is returned by Manager.Adopt when the fixed ID
+	// is already registered.
+	ErrDuplicateSession = errors.New("dispatch: duplicate session id")
 )
 
 // SolveFunc produces a schedule for one residual instance together with

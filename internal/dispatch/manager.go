@@ -4,6 +4,7 @@ import (
 	"context"
 	"crypto/rand"
 	"encoding/hex"
+	"fmt"
 	"sync"
 	"time"
 )
@@ -97,6 +98,30 @@ func (m *Manager) Create(cfg Config) (string, *Session, error) {
 	}
 	m.sessions[id] = &managed{s: s, lastTouch: m.cfg.Now()}
 	return id, s, nil
+}
+
+// Adopt registers an already-built session under a caller-chosen ID —
+// the restore path, where the session keeps the identity it had on the
+// backend it migrated from (and the cluster router's create path, where
+// the ID must be the one the router hashed for shard placement). The
+// session is NOT closed on failure; that stays the caller's to decide.
+func (m *Manager) Adopt(id string, s *Session) error {
+	if id == "" {
+		return fmt.Errorf("dispatch: empty session id")
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrSessionClosed
+	}
+	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
+		return ErrTooManySessions
+	}
+	if m.sessions[id] != nil {
+		return ErrDuplicateSession
+	}
+	m.sessions[id] = &managed{s: s, lastTouch: m.cfg.Now()}
+	return nil
 }
 
 // Get returns the session for id (nil if unknown) and refreshes its TTL.

@@ -92,7 +92,9 @@ func Restore(ctx context.Context, snap *Snapshot, cfg Config) (*Session, error) 
 	cfg.Algorithm = snap.Algorithm
 	cfg.Cores = snap.Cores
 	cfg.Model = snap.Model
-	cfg.Solve = nil // re-resolve against the restored algorithm
+	// A caller-supplied Solve is kept — the serving layer injects its
+	// verified, breaker-gated pipeline here; only a nil Solve re-resolves
+	// against the restored algorithm via the registry.
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err

@@ -33,7 +33,7 @@ func TestScheduleBatch(t *testing.T) {
 		{Algorithm: "S^F2", Cores: 4, Model: model, Tasks: ts},
 		{Algorithm: "S^F1", Cores: 4, Model: model, Tasks: ts},
 		{Algorithm: "no-such-algorithm", Cores: 4, Model: model, Tasks: ts},
-		{Algorithm: "YDS", Cores: 0, Model: model, Tasks: ts}, // invalid cores
+		{Algorithm: "YDS", Cores: 0, Model: model, Tasks: ts},  // invalid cores
 		{Algorithm: "S^F2", Cores: 4, Model: model, Tasks: ts}, // cache hit of item 0
 	}
 	resp, body := postJSON(t, hs.URL+"/v1/schedule/batch", batchBody(t, items))

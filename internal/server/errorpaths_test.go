@@ -22,7 +22,7 @@ import (
 func TestFallbackBreakerOpen503(t *testing.T) {
 	srv, hs := newTestServer(t, Config{BreakerThreshold: 1})
 	// Open the fallback's breaker directly (threshold 1: one failure).
-	srv.breakers.get(srv.cfg.FallbackAlgorithm).onFailure()
+	srv.breakers.Get(srv.cfg.FallbackAlgorithm).Failure()
 
 	resp, body := postJSON(t, hs.URL+"/v1/schedule", scheduleBody(t, "test-panic", sectionVD(t), 4))
 	if resp.StatusCode != http.StatusServiceUnavailable {

@@ -6,6 +6,8 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"testing"
+
+	"repro/internal/server/wire"
 )
 
 // FuzzScheduleHandler throws malformed, truncated, and hostile JSON at
@@ -64,12 +66,12 @@ func FuzzScheduleHandler(f *testing.F) {
 				t.Fatalf("200 with degenerate schedule: %+v", sr)
 			}
 		case res.StatusCode >= 400 && res.StatusCode < 600:
-			var er ErrorResponse
-			if err := json.NewDecoder(res.Body).Decode(&er); err != nil {
+			var env wire.ErrorEnvelope
+			if err := json.NewDecoder(res.Body).Decode(&env); err != nil {
 				t.Fatalf("error status %d with unparseable body: %v", res.StatusCode, err)
 			}
-			if er.Error == "" {
-				t.Fatalf("status %d with empty error message", res.StatusCode)
+			if env.Error.Code == "" || env.Error.Message == "" {
+				t.Fatalf("status %d with incomplete error envelope: %+v", res.StatusCode, env)
 			}
 		default:
 			t.Fatalf("unexpected status %d", res.StatusCode)

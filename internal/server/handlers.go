@@ -11,6 +11,7 @@ import (
 
 	"repro/easched"
 	"repro/internal/check"
+	"repro/internal/dispatch"
 	"repro/internal/fault"
 	"repro/internal/feas"
 	"repro/internal/interval"
@@ -30,9 +31,89 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	_ = enc.Encode(v)
 }
 
-// writeError emits a JSON error body.
-func writeError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, ErrorResponse{Error: fmt.Sprintf(format, args...)})
+// Sentinel causes threaded through error chains so errorCode can
+// classify failures that have no typed sentinel of their own.
+var (
+	errBreakerOpen      = errors.New("circuit breaker open")
+	errUnknownAlgorithm = errors.New("unknown algorithm")
+)
+
+// errorCode maps a failure to its wire error code, preferring the
+// easched/dispatch error taxonomy over the blunt HTTP status.
+func errorCode(status int, err error) wire.ErrorCode {
+	switch {
+	case errors.Is(err, errBreakerOpen):
+		return wire.CodeBreakerOpen
+	case errors.Is(err, errUnknownAlgorithm):
+		return wire.CodeUnknownAlgorithm
+	case errors.Is(err, easched.ErrInfeasible):
+		return wire.CodeInfeasible
+	case errors.Is(err, easched.ErrSolverPanic):
+		return wire.CodeSolverPanic
+	case errors.Is(err, easched.ErrInvalidSchedule):
+		return wire.CodeInvalidSchedule
+	case errors.Is(err, easched.ErrDeadlineExceeded), errors.Is(err, context.DeadlineExceeded):
+		return wire.CodeTimeout
+	case errors.Is(err, context.Canceled):
+		return wire.CodeCanceled
+	case errors.Is(err, dispatch.ErrTooManySessions):
+		return wire.CodeOverloaded
+	case errors.Is(err, dispatch.ErrSessionClosed):
+		return wire.CodeSessionClosed
+	case errors.Is(err, dispatch.ErrDuplicateSession):
+		return wire.CodeDuplicateSession
+	case errors.Is(err, dispatch.ErrBadArrival):
+		return wire.CodeBadRequest
+	}
+	switch status {
+	case http.StatusBadRequest:
+		return wire.CodeBadRequest
+	case http.StatusNotFound:
+		return wire.CodeNotFound
+	case http.StatusMethodNotAllowed:
+		return wire.CodeMethodNotAllowed
+	case http.StatusConflict:
+		return wire.CodeSessionClosed
+	case http.StatusUnprocessableEntity:
+		return wire.CodeUnprocessable
+	case http.StatusTooManyRequests:
+		return wire.CodeOverloaded
+	case http.StatusGatewayTimeout:
+		return wire.CodeTimeout
+	case http.StatusInternalServerError:
+		return wire.CodeInternal
+	default:
+		return wire.CodeUnavailable
+	}
+}
+
+// compatRequested reports whether the client opted into the legacy
+// pre-envelope {"error":"..."} error shape (kept for one release).
+func compatRequested(r *http.Request) bool {
+	return r != nil && r.URL.Query().Get("compat") == "1"
+}
+
+// writeError emits the unified error envelope — or, when the request
+// carries ?compat=1, the legacy {"error":"..."} shape.
+func writeError(w http.ResponseWriter, r *http.Request, status int, code wire.ErrorCode, format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if compatRequested(r) {
+		writeJSON(w, status, ErrorResponse{Error: msg})
+		return
+	}
+	writeJSON(w, status, wire.ErrorEnvelope{
+		Version: wire.Version,
+		Error: wire.ErrorDetail{
+			Code:      code,
+			Message:   msg,
+			Retryable: wire.RetryableStatus(status),
+		},
+	})
+}
+
+// writeErrorFor is writeError with the code derived from (status, err).
+func writeErrorFor(w http.ResponseWriter, r *http.Request, status int, err error) {
+	writeError(w, r, status, errorCode(status, err), "%v", err)
 }
 
 // retryAfter marks an overload/draining response as retryable.
@@ -192,7 +273,7 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	entry, ok := check.Lookup(req.Algorithm)
 	if !ok {
 		return nil, nil, http.StatusNotFound,
-			fmt.Errorf("unknown algorithm %q (have %v)", req.Algorithm, check.Names())
+			fmt.Errorf("%w %q (have %v)", errUnknownAlgorithm, req.Algorithm, check.Names())
 	}
 
 	// Transient-I/O fault point: a retryable 503, upstream of everything.
@@ -218,13 +299,13 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	s.metrics.cacheMisses.Add(1)
 
 	// Primary attempt, guarded by the algorithm's circuit breaker.
-	br := s.breakers.get(req.Algorithm)
+	br := s.breakers.Get(req.Algorithm)
 	var primaryErr error
 	primaryStatus := http.StatusOK
-	if ok, probe := br.allowed(); ok {
+	if ok, probe := br.Admit(); ok {
 		sched, energy, status, err := s.runVerified(reqCtx, entry, req, pm)
 		if err == nil {
-			br.onSuccess()
+			br.Success()
 			resp := &ScheduleResponse{
 				Version:   wire.Version,
 				Algorithm: req.Algorithm,
@@ -242,12 +323,12 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 		}
 		switch {
 		case breakerCountable(status, err):
-			br.onFailure()
+			br.Failure()
 		case probe:
 			// The probe's outcome says nothing about the algorithm
 			// (cancellation / admission pushback): release the slot, or
 			// the stuck `probing` flag would deny this algorithm forever.
-			br.onProbeAbort()
+			br.ProbeAborted()
 		}
 		if !fallbackEligible(status, err) {
 			return nil, nil, status, err
@@ -256,7 +337,7 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	} else {
 		s.metrics.breakerDenials.Add(1)
 		primaryStatus = http.StatusServiceUnavailable
-		primaryErr = fmt.Errorf("circuit breaker open for algorithm %q", req.Algorithm)
+		primaryErr = fmt.Errorf("%w for algorithm %q", errBreakerOpen, req.Algorithm)
 	}
 
 	// Fallback chain: requested algorithm failed (or its breaker is
@@ -268,27 +349,27 @@ func (s *Server) solveOne(reqCtx context.Context, req *ScheduleRequest) (*Schedu
 	if fb == nil {
 		return nil, nil, primaryStatus, primaryErr
 	}
-	fbBr := s.breakers.get(fb.Name)
-	fbOK, fbProbe := fbBr.allowed()
+	fbBr := s.breakers.Get(fb.Name)
+	fbOK, fbProbe := fbBr.Admit()
 	if !fbOK {
 		s.metrics.breakerDenials.Add(1)
 		s.metrics.fallbackFailures.Add(1)
 		return nil, nil, http.StatusServiceUnavailable,
-			fmt.Errorf("%v; fallback %q breaker open", primaryErr, fb.Name)
+			fmt.Errorf("%v; fallback %q %w", primaryErr, fb.Name, errBreakerOpen)
 	}
 	sched, energy, status, err := s.runVerified(reqCtx, *fb, req, pm)
 	if err != nil {
 		switch {
 		case breakerCountable(status, err):
-			fbBr.onFailure()
+			fbBr.Failure()
 		case fbProbe:
-			fbBr.onProbeAbort()
+			fbBr.ProbeAborted()
 		}
 		s.metrics.fallbackFailures.Add(1)
 		return nil, nil, http.StatusServiceUnavailable,
 			fmt.Errorf("%v; fallback %q also failed: %v", primaryErr, fb.Name, err)
 	}
-	fbBr.onSuccess()
+	fbBr.Success()
 	s.metrics.degraded.Add(1)
 	s.cfg.Logger.Printf("msg=%q algorithm=%q fallback=%q cause=%q",
 		"degraded response", req.Algorithm, fb.Name, primaryErr)
@@ -358,20 +439,20 @@ func statusForSolveErr(err error) int {
 // handleSchedule serves POST /v1/schedule.
 func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "use POST")
 		return
 	}
 	if s.draining.Load() {
 		retryAfter(w, 1)
 		s.metrics.draining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		return
 	}
 	start := time.Now()
 
 	var req ScheduleRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	resp, sched, code, err := s.solveOne(r.Context(), &req)
@@ -379,7 +460,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
 			retryAfter(w, 1)
 		}
-		writeError(w, code, "%v", err)
+		writeErrorFor(w, r, code, err)
 		return
 	}
 	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
@@ -397,28 +478,28 @@ const maxBatchItems = 256
 // carry their own HTTP-equivalent status.
 func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "use POST")
 		return
 	}
 	if s.draining.Load() {
 		retryAfter(w, 1)
 		s.metrics.draining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		return
 	}
 	start := time.Now()
 
 	var req BatchRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	if len(req.Items) == 0 {
-		writeError(w, http.StatusBadRequest, "batch has no items")
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "batch has no items")
 		return
 	}
 	if len(req.Items) > maxBatchItems {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest,
 			"batch has %d items, limit is %d", len(req.Items), maxBatchItems)
 		return
 	}
@@ -442,7 +523,11 @@ func (s *Server) handleScheduleBatch(w http.ResponseWriter, r *http.Request) {
 				itemStart := time.Now()
 				resp, _, code, err := s.solveOne(r.Context(), &req.Items[i])
 				if err != nil {
-					items[i] = BatchItem{Index: i, Error: err.Error(), Status: code}
+					items[i] = BatchItem{
+						Index: i, Error: err.Error(), Status: code,
+						Code:      errorCode(code, err),
+						Retryable: wire.RetryableStatus(code),
+					}
 					continue
 				}
 				resp.ElapsedMS = float64(time.Since(itemStart)) / float64(time.Millisecond)
@@ -501,16 +586,16 @@ func statusForCtxErr(err error) int {
 // normalized f_max) plus the bisected minimal feasible speed.
 func (s *Server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, "use POST")
+		writeError(w, r, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "use POST")
 		return
 	}
 	var req FeasibleRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	if err := validateInstance(req.Tasks, req.Cores, s.cfg.MaxTasks); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	speed := req.Speed
@@ -518,22 +603,22 @@ func (s *Server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 		speed = 1
 	}
 	if speed < 0 {
-		writeError(w, http.StatusBadRequest, "speed %g must be positive", speed)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "speed %g must be positive", speed)
 		return
 	}
 	d, err := interval.Decompose(req.Tasks, 1e-9)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, wire.CodeUnprocessable, "%v", err)
 		return
 	}
 	feasible, _, err := feas.Feasible(d, req.Cores, speed)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, wire.CodeUnprocessable, "%v", err)
 		return
 	}
 	minSpeed, _, err := feas.MinSpeed(d, req.Cores, 1e-9)
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		writeError(w, r, http.StatusUnprocessableEntity, wire.CodeUnprocessable, "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, FeasibleResponse{
@@ -546,7 +631,7 @@ func (s *Server) handleFeasible(w http.ResponseWriter, r *http.Request) {
 // handleAlgorithms serves GET /v1/algorithms.
 func (s *Server) handleAlgorithms(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
-		writeError(w, http.StatusMethodNotAllowed, "use GET")
+		writeError(w, r, http.StatusMethodNotAllowed, wire.CodeMethodNotAllowed, "use GET")
 		return
 	}
 	writeJSON(w, http.StatusOK, AlgorithmsResponse{Algorithms: check.Names()})
@@ -571,10 +656,10 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		retryAfter(w, 1)
-		writeError(w, http.StatusServiceUnavailable, "draining")
-	case s.breakers.allOpen():
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "draining")
+	case s.breakers.AllOpen():
 		retryAfter(w, 1)
-		writeError(w, http.StatusServiceUnavailable, "all circuit breakers open")
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeBreakerOpen, "all circuit breakers open")
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 	}

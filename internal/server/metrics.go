@@ -8,75 +8,20 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/fault"
+	"repro/internal/metric"
 )
 
 // latencyBucketsMS are the upper bounds (in milliseconds) of the request
 // latency histogram; a final implicit +Inf bucket catches the rest.
-var latencyBucketsMS = []float64{
-	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000,
-}
+var latencyBucketsMS = metric.LatencyBucketsMS
 
 // queueBuckets are the upper bounds of the queue-depth-at-admission
 // histogram.
 var queueBuckets = []float64{0, 1, 2, 4, 8, 16, 32, 64, 128, 256}
 
-// histogram is a fixed-bucket counting histogram safe for concurrent
-// observation. Bounds are inclusive upper edges; counts[len(bounds)] is
-// the +Inf bucket.
-type histogram struct {
-	bounds []float64
-	counts []atomic.Int64
-	sum    atomicFloat
-	n      atomic.Int64
-}
-
-func newHistogram(bounds []float64) *histogram {
-	return &histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
-}
-
-// Observe records one sample.
-func (h *histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v)
-	h.counts[i].Add(1)
-	h.sum.Add(v)
-	h.n.Add(1)
-}
-
-// write emits the histogram in cumulative prometheus-style text lines.
-func (h *histogram) write(w io.Writer, name string) {
-	var cum int64
-	for i, b := range h.bounds {
-		cum += h.counts[i].Load()
-		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, fmtFloat(b), cum)
-	}
-	cum += h.counts[len(h.bounds)].Load()
-	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
-	fmt.Fprintf(w, "%s_sum %s\n", name, fmtFloat(h.sum.Load()))
-	fmt.Fprintf(w, "%s_count %d\n", name, h.n.Load())
-}
-
-func fmtFloat(v float64) string { return fmt.Sprintf("%g", v) }
-
-// atomicFloat is a float64 accumulated with a mutex; observation rates
-// here (one add per request) make contention negligible, and a mutex
-// avoids a CAS loop.
-type atomicFloat struct {
-	mu sync.Mutex
-	v  float64
-}
-
-func (a *atomicFloat) Add(d float64) {
-	a.mu.Lock()
-	a.v += d
-	a.mu.Unlock()
-}
-
-func (a *atomicFloat) Load() float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	return a.v
-}
+func fmtFloat(v float64) string { return metric.FmtFloat(v) }
 
 // Metrics is the server's observability surface: atomic counters and
 // histograms exported as expvar-style text on GET /metrics.
@@ -114,15 +59,17 @@ type Metrics struct {
 	sessionsOpened      atomic.Int64 // sessions created
 	sessionsClosed      atomic.Int64 // sessions deleted by clients
 	sessionsEvicted     atomic.Int64 // sessions evicted by the TTL janitor
+	sessionsRestored    atomic.Int64 // sessions adopted via POST /v1/sessions/restore
+	sessionSnapshots    atomic.Int64 // snapshots served via GET .../snapshot
 	sessionArrivals     atomic.Int64 // tasks admitted into sessions
 	sessionReplans      atomic.Int64 // residual re-plans executed
 	sessionReplanErrors atomic.Int64 // residual re-plans that failed
 	sessionSheds        atomic.Int64 // tasks load-shed by sessions
 
 	// Histograms.
-	latencyMS  *histogram // end-to-end /v1/schedule handling time
-	queueDepth *histogram // admission-time queue depth
-	replanMS   *histogram // per-session residual re-plan latency
+	latencyMS  *metric.Histogram // end-to-end /v1/schedule handling time
+	queueDepth *metric.Histogram // admission-time queue depth
+	replanMS   *metric.Histogram // per-session residual re-plan latency
 
 	// queueNow is sampled live from the admission gate at scrape time.
 	queueNow func() int64
@@ -132,16 +79,16 @@ type Metrics struct {
 	sessionBacklog func() int
 	// breakerStats / faultCounts are sampled live at scrape time; either
 	// may be nil (breakers disabled, no fault injector active).
-	breakerStats func() []breakerStat
+	breakerStats func() []breaker.Stat
 	faultCounts  func() []fault.Count
 }
 
 func newMetrics(queueNow func() int64) *Metrics {
 	return &Metrics{
 		start:      time.Now(),
-		latencyMS:  newHistogram(latencyBucketsMS),
-		queueDepth: newHistogram(queueBuckets),
-		replanMS:   newHistogram(latencyBucketsMS),
+		latencyMS:  metric.NewHistogram(latencyBucketsMS),
+		queueDepth: metric.NewHistogram(queueBuckets),
+		replanMS:   metric.NewHistogram(latencyBucketsMS),
 		queueNow:   queueNow,
 	}
 }
@@ -198,10 +145,10 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "schedd_breaker_denials_total %d\n", m.breakerDenials.Load())
 	if m.breakerStats != nil {
 		for _, st := range m.breakerStats() {
-			fmt.Fprintf(w, "schedd_breaker_state{algorithm=%q} %d\n", st.algorithm, int(st.state))
-			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"open\"} %d\n", st.algorithm, st.opened)
-			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"half-open\"} %d\n", st.algorithm, st.halfOpened)
-			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"closed\"} %d\n", st.algorithm, st.closed)
+			fmt.Fprintf(w, "schedd_breaker_state{algorithm=%q} %d\n", st.Name, int(st.State))
+			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"open\"} %d\n", st.Name, st.Opened)
+			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"half-open\"} %d\n", st.Name, st.HalfOpened)
+			fmt.Fprintf(w, "schedd_breaker_transitions_total{algorithm=%q,to=\"closed\"} %d\n", st.Name, st.Closed)
 		}
 	}
 	if m.faultCounts != nil {
@@ -221,11 +168,13 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "schedd_sessions_opened_total %d\n", m.sessionsOpened.Load())
 	fmt.Fprintf(w, "schedd_sessions_closed_total %d\n", m.sessionsClosed.Load())
 	fmt.Fprintf(w, "schedd_sessions_evicted_total %d\n", m.sessionsEvicted.Load())
+	fmt.Fprintf(w, "schedd_sessions_restored_total %d\n", m.sessionsRestored.Load())
+	fmt.Fprintf(w, "schedd_session_snapshots_total %d\n", m.sessionSnapshots.Load())
 	fmt.Fprintf(w, "schedd_session_arrivals_total %d\n", m.sessionArrivals.Load())
 	fmt.Fprintf(w, "schedd_session_replans_total %d\n", m.sessionReplans.Load())
 	fmt.Fprintf(w, "schedd_session_replan_failures_total %d\n", m.sessionReplanErrors.Load())
 	fmt.Fprintf(w, "schedd_session_shed_tasks_total %d\n", m.sessionSheds.Load())
-	m.latencyMS.write(w, "schedd_latency_ms")
-	m.queueDepth.write(w, "schedd_queue_depth_at_admission")
-	m.replanMS.write(w, "schedd_session_replan_latency_ms")
+	m.latencyMS.Write(w, "schedd_latency_ms")
+	m.queueDepth.Write(w, "schedd_queue_depth_at_admission")
+	m.replanMS.Write(w, "schedd_session_replan_latency_ms")
 }

@@ -4,17 +4,19 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+
+	"repro/internal/metric"
 )
 
 func TestHistogramBuckets(t *testing.T) {
-	h := newHistogram([]float64{1, 10, 100})
+	h := metric.NewHistogram([]float64{1, 10, 100})
 	for _, v := range []float64{0.5, 1, 5, 50, 500} {
 		h.Observe(v)
 	}
 	// Bounds are inclusive upper edges: 0.5 and 1 land in le=1; 5 in
 	// le=10; 50 in le=100; 500 in +Inf. Cumulative: 2, 3, 4, 5.
 	var buf bytes.Buffer
-	h.write(&buf, "x")
+	h.Write(&buf, "x")
 	for _, want := range []string{
 		`x_bucket{le="1"} 2`,
 		`x_bucket{le="10"} 3`,

@@ -11,12 +11,19 @@ import (
 	"time"
 
 	"repro/easched"
+	"repro/internal/breaker"
 	"repro/internal/check"
 	"repro/internal/fault"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/task"
 )
+
+// fakeClock is a manually advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
 
 func init() {
 	// test-panic always panics: the real (not injected) recovery path.
@@ -283,11 +290,11 @@ func TestStatusForSolveErr(t *testing.T) {
 func TestCanceledProbeDoesNotWedgeBreaker(t *testing.T) {
 	srv, _ := newTestServer(t, Config{BreakerThreshold: 1})
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	srv.breakers = newBreakerSet(1, time.Second, 8*time.Second, clk.now)
+	srv.breakers = breaker.NewSet(1, time.Second, 8*time.Second, clk.now)
 
-	br := srv.breakers.get("S^F2")
-	br.allow()
-	br.failure() // threshold 1: opens with 1s cooldown
+	br := srv.breakers.Get("S^F2")
+	br.Allow()
+	br.Failure() // threshold 1: opens with 1s cooldown
 	clk.advance(time.Second)
 
 	canceled, cancel := context.WithCancel(context.Background())
@@ -300,15 +307,15 @@ func TestCanceledProbeDoesNotWedgeBreaker(t *testing.T) {
 	if _, _, code, err := srv.solveOne(canceled, req); err == nil || code != http.StatusServiceUnavailable {
 		t.Fatalf("canceled probe: code=%d err=%v, want 503", code, err)
 	}
-	if st := br.stat("S^F2"); st.state != breakerOpen {
-		t.Fatalf("state after canceled probe = %v, want open (slot released)", st.state)
+	if st := br.Stat("S^F2"); st.State != breaker.Open {
+		t.Fatalf("state after canceled probe = %v, want open (slot released)", st.State)
 	}
 	clk.advance(time.Second) // the abort keeps the cooldown unchanged
 	if _, _, code, err := srv.solveOne(context.Background(), req); err != nil {
 		t.Fatalf("probe after aborted probe failed: code=%d err=%v", code, err)
 	}
-	if st := br.stat("S^F2"); st.state != breakerClosed {
-		t.Fatalf("state after successful probe = %v, want closed", st.state)
+	if st := br.Stat("S^F2"); st.State != breaker.Closed {
+		t.Fatalf("state after successful probe = %v, want closed", st.State)
 	}
 }
 
@@ -319,10 +326,10 @@ func TestCanceledProbeDoesNotWedgeBreaker(t *testing.T) {
 func TestReadyzRecoversAfterCooldown(t *testing.T) {
 	srv, hs := newTestServer(t, Config{BreakerThreshold: 1})
 	clk := &fakeClock{t: time.Unix(0, 0)}
-	srv.breakers = newBreakerSet(1, time.Second, 8*time.Second, clk.now)
-	b := srv.breakers.get("only")
-	b.allow()
-	b.failure()
+	srv.breakers = breaker.NewSet(1, time.Second, 8*time.Second, clk.now)
+	b := srv.breakers.Get("only")
+	b.Allow()
+	b.Failure()
 
 	rr, err := http.Get(hs.URL + "/readyz")
 	if err != nil {
@@ -347,9 +354,9 @@ func TestReadyzRecoversAfterCooldown(t *testing.T) {
 // algorithm breaker is open.
 func TestReadyzAllBreakersOpen(t *testing.T) {
 	srv, hs := newTestServer(t, Config{BreakerThreshold: 1, BreakerCooldown: time.Hour})
-	b := srv.breakers.get("only")
-	b.allow()
-	b.failure()
+	b := srv.breakers.Get("only")
+	b.Allow()
+	b.Failure()
 	rr, err := http.Get(hs.URL + "/readyz")
 	if err != nil {
 		t.Fatal(err)

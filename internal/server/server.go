@@ -26,7 +26,14 @@
 //	POST   /v1/sessions/{id}/tasks    admit an arrival batch at a virtual time
 //	GET    /v1/sessions/{id}/schedule committed prefix + current plan suffix
 //	GET    /v1/sessions/{id}/events   SSE stream of replan/commit/shed events
+//	GET    /v1/sessions/{id}/snapshot portable session state for migration
+//	POST   /v1/sessions/restore       adopt a session from a snapshot
 //	DELETE /v1/sessions/{id}          finish, account vs optimum, tear down
+//
+// Errors: every non-2xx response carries the unified envelope
+// {"version":1,"error":{"code","message","retryable"}} (wire.ErrorEnvelope);
+// the legacy {"error":"..."} shape is still available via ?compat=1 for
+// one release.
 //
 // Session re-plans run through the same verified solve pipeline
 // (admission gate, timeout, validator guardrail, circuit breaker, fault
@@ -54,6 +61,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/breaker"
 	"repro/internal/dispatch"
 	"repro/internal/fallback"
 	"repro/internal/fault"
@@ -184,7 +192,7 @@ type Server struct {
 	cfg      Config
 	gate     *gate
 	cache    *solveCache
-	breakers *breakerSet
+	breakers *breaker.Set
 	metrics  *Metrics
 	sessions *dispatch.Manager
 	mux      *http.ServeMux
@@ -198,11 +206,11 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		gate:     newGate(cfg.Workers, cfg.Queue),
 		cache:    newSolveCache(cfg.CacheSize),
-		breakers: newBreakerSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, nil),
+		breakers: breaker.NewSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, nil),
 		mux:      http.NewServeMux(),
 	}
 	s.metrics = newMetrics(s.gate.depth)
-	s.metrics.breakerStats = s.breakers.stats
+	s.metrics.breakerStats = s.breakers.Stats
 	s.metrics.faultCounts = func() []fault.Count { return s.faults().Counts() }
 	s.sessions = dispatch.NewManager(dispatch.ManagerConfig{
 		MaxSessions: cfg.SessionLimit,
@@ -220,9 +228,11 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/feasible", s.handleFeasible)
 	s.mux.HandleFunc("/v1/algorithms", s.handleAlgorithms)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/sessions/restore", s.handleSessionRestore)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/tasks", s.handleSessionArrive)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/schedule", s.handleSessionSchedule)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/events", s.handleSessionEvents)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleSessionSnapshot)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/readyz", s.handleReadyz)

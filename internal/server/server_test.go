@@ -15,6 +15,7 @@ import (
 	"repro/internal/check"
 	"repro/internal/power"
 	"repro/internal/schedule"
+	"repro/internal/server/wire"
 	"repro/internal/task"
 )
 
@@ -190,8 +191,8 @@ func TestMalformedRequests(t *testing.T) {
 			if resp.StatusCode != tc.want {
 				t.Fatalf("status %d, want %d: %s", resp.StatusCode, tc.want, body)
 			}
-			var er ErrorResponse
-			if err := json.Unmarshal(body, &er); err != nil || er.Error == "" {
+			var env wire.ErrorEnvelope
+			if err := json.Unmarshal(body, &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
 				t.Fatalf("error body not structured: %s", body)
 			}
 		})

@@ -25,26 +25,26 @@ import (
 func (s *Server) sessionSolve(algorithm string) (dispatch.SolveFunc, error) {
 	entry, ok := check.Lookup(algorithm)
 	if !ok {
-		return nil, fmt.Errorf("unknown algorithm %q (have %v)", algorithm, check.Names())
+		return nil, fmt.Errorf("%w %q (have %v)", errUnknownAlgorithm, algorithm, check.Names())
 	}
 	return func(ctx context.Context, ts task.Set, m int, pm power.Model) (*schedule.Schedule, float64, error) {
-		br := s.breakers.get(algorithm)
-		allowed, probe := br.allowed()
+		br := s.breakers.Get(algorithm)
+		allowed, probe := br.Admit()
 		if !allowed {
 			s.metrics.breakerDenials.Add(1)
-			return nil, 0, fmt.Errorf("circuit breaker open for algorithm %q", algorithm)
+			return nil, 0, fmt.Errorf("%w for algorithm %q", errBreakerOpen, algorithm)
 		}
 		req := &ScheduleRequest{Algorithm: algorithm, Cores: m, Tasks: ts}
 		sched, energy, status, err := s.runVerified(ctx, entry, req, pm)
 		if err == nil {
-			br.onSuccess()
+			br.Success()
 			return sched, energy, nil
 		}
 		switch {
 		case breakerCountable(status, err):
-			br.onFailure()
+			br.Failure()
 		case probe:
-			br.onProbeAbort()
+			br.ProbeAborted()
 		}
 		return nil, 0, err
 	}, nil
@@ -70,21 +70,21 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		retryAfter(w, 1)
 		s.metrics.draining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		return
 	}
 	var req SessionCreateRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	if req.Cores <= 0 {
-		writeError(w, http.StatusBadRequest, "cores must be >= 1, have %d", req.Cores)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "cores must be >= 1, have %d", req.Cores)
 		return
 	}
 	pm, err := req.Model.Model()
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	algorithm := req.Algorithm
@@ -93,11 +93,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 	solve, err := s.sessionSolve(algorithm)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeErrorFor(w, r, http.StatusNotFound, err)
 		return
 	}
 	if req.DebounceMS < 0 || req.Backlog < 0 {
-		writeError(w, http.StatusBadRequest, "debounce_ms and backlog must be non-negative")
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "debounce_ms and backlog must be non-negative")
 		return
 	}
 	backlog := req.Backlog
@@ -107,7 +107,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if backlog > s.cfg.MaxTasks {
 		backlog = s.cfg.MaxTasks
 	}
-	id, _, err := s.sessions.Create(dispatch.Config{
+	cfg := dispatch.Config{
 		Algorithm: algorithm,
 		Cores:     req.Cores,
 		Model:     pm,
@@ -116,18 +116,36 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		Solve:     solve,
 		Hooks:     s.sessionHooks(),
 		SkipRatio: req.SkipRatio,
-	})
+	}
+	var id string
+	if req.ID != "" {
+		// Caller-fixed ID (the cluster router's shard placement): build
+		// the session, then adopt it under exactly that ID.
+		var sess *dispatch.Session
+		sess, err = dispatch.New(cfg)
+		if err == nil {
+			id = req.ID
+			if err = s.sessions.Adopt(id, sess); err != nil {
+				sess.Close()
+			}
+		}
+	} else {
+		id, _, err = s.sessions.Create(cfg)
+	}
 	switch {
 	case errors.Is(err, dispatch.ErrTooManySessions):
 		retryAfter(w, 1)
-		writeError(w, http.StatusTooManyRequests, "%v", err)
+		writeErrorFor(w, r, http.StatusTooManyRequests, err)
+		return
+	case errors.Is(err, dispatch.ErrDuplicateSession):
+		writeErrorFor(w, r, http.StatusConflict, err)
 		return
 	case errors.Is(err, dispatch.ErrSessionClosed): // manager draining
 		retryAfter(w, 1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		return
 	case err != nil:
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	s.metrics.sessionsOpened.Add(1)
@@ -147,7 +165,7 @@ func (s *Server) session(w http.ResponseWriter, r *http.Request) (string, *dispa
 	id := r.PathValue("id")
 	sess := s.sessions.Get(id)
 	if sess == nil {
-		writeError(w, http.StatusNotFound, "unknown session %q", id)
+		writeError(w, r, http.StatusNotFound, wire.CodeNotFound, "unknown session %q", id)
 		return id, nil
 	}
 	return id, sess
@@ -161,7 +179,7 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		retryAfter(w, 1)
 		s.metrics.draining.Add(1)
-		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		return
 	}
 	_, sess := s.session(w, r)
@@ -170,15 +188,15 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 	}
 	var req ArrivalRequest
 	if err := decodeJSON(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
 		return
 	}
 	if len(req.Tasks) == 0 {
-		writeError(w, http.StatusBadRequest, "arrival batch is empty")
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "arrival batch is empty")
 		return
 	}
 	if s.cfg.MaxTasks > 0 && len(req.Tasks) > s.cfg.MaxTasks {
-		writeError(w, http.StatusBadRequest,
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest,
 			"arrival batch has %d tasks, limit is %d", len(req.Tasks), s.cfg.MaxTasks)
 		return
 	}
@@ -187,13 +205,13 @@ func (s *Server) handleSessionArrive(w http.ResponseWriter, r *http.Request) {
 	admitted, shed, err := sess.Arrive(r.Context(), req.At, req.Tasks)
 	switch {
 	case errors.Is(err, dispatch.ErrBadArrival):
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeErrorFor(w, r, http.StatusBadRequest, err)
 		return
 	case errors.Is(err, dispatch.ErrSessionClosed):
-		writeError(w, http.StatusConflict, "session already finished")
+		writeError(w, r, http.StatusConflict, wire.CodeSessionClosed, "session already finished")
 		return
 	case err != nil:
-		writeError(w, statusForCtxErr(err), "arrival interrupted: %v", err)
+		writeError(w, r, statusForCtxErr(err), errorCode(statusForCtxErr(err), err), "arrival interrupted: %v", err)
 		return
 	}
 	s.metrics.sessionArrivals.Add(int64(admitted))
@@ -217,7 +235,7 @@ func (s *Server) handleSessionSchedule(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := sess.Flush(r.Context()); err != nil && !errors.Is(err, dispatch.ErrSessionClosed) {
-		writeError(w, statusForCtxErr(err), "flush interrupted: %v", err)
+		writeError(w, r, statusForCtxErr(err), errorCode(statusForCtxErr(err), err), "flush interrupted: %v", err)
 		return
 	}
 	writeJSON(w, http.StatusOK, SessionScheduleResponse{
@@ -242,7 +260,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	f, err := sess.Finish(r.Context())
 	if err != nil {
 		// Context died mid-finish: the session survives for a retry.
-		writeError(w, statusForCtxErr(err), "finish interrupted: %v", err)
+		writeError(w, r, statusForCtxErr(err), errorCode(statusForCtxErr(err), err), "finish interrupted: %v", err)
 		return
 	}
 	s.sessions.Remove(id)
@@ -286,12 +304,12 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
-		writeError(w, http.StatusInternalServerError, "streaming unsupported by connection")
+		writeError(w, r, http.StatusInternalServerError, wire.CodeInternal, "streaming unsupported by connection")
 		return
 	}
 	events, cancel, err := sess.Subscribe()
 	if err != nil {
-		writeError(w, http.StatusConflict, "session closed")
+		writeError(w, r, http.StatusConflict, wire.CodeSessionClosed, "session closed")
 		return
 	}
 	defer cancel()
@@ -322,6 +340,114 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			flusher.Flush()
 		}
 	}
+}
+
+// handleSessionSnapshot serves GET /v1/sessions/{id}/snapshot: a
+// portable point-in-time capture of the session (clock, committed
+// prefix, per-task residual work, event sequence), restorable on any
+// backend via POST /v1/sessions/restore. The session keeps running;
+// pending arrivals are flushed first so the snapshot never contains an
+// unplanned batch.
+func (s *Server) handleSessionSnapshot(w http.ResponseWriter, r *http.Request) {
+	id, sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	snap, err := sess.Snapshot(r.Context())
+	switch {
+	case errors.Is(err, dispatch.ErrSessionClosed):
+		writeError(w, r, http.StatusConflict, wire.CodeSessionClosed, "session already finished")
+		return
+	case err != nil:
+		writeError(w, r, statusForCtxErr(err), errorCode(statusForCtxErr(err), err), "snapshot interrupted: %v", err)
+		return
+	}
+	s.metrics.sessionSnapshots.Add(1)
+	writeJSON(w, http.StatusOK, wire.SessionSnapshotResponse{
+		Version:  wire.Version,
+		ID:       id,
+		Snapshot: snap,
+	})
+}
+
+// handleSessionRestore serves POST /v1/sessions/restore: rebuild a live
+// session from a snapshot under its original ID. The restored session
+// runs through the same verified solve pipeline (admission gate,
+// breaker, guardrail) as natively created ones; its unfinished residual
+// is re-planned before the response is written, so a follow-up arrival
+// or SSE subscribe sees a session that is already live.
+func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		retryAfter(w, 1)
+		s.metrics.draining.Add(1)
+		writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
+		return
+	}
+	var req wire.SessionRestoreRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "%v", err)
+		return
+	}
+	if req.ID == "" {
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "restore requires the original session id")
+		return
+	}
+	if req.Snapshot == nil {
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "restore requires a snapshot")
+		return
+	}
+	if req.DebounceMS < 0 || req.Backlog < 0 {
+		writeError(w, r, http.StatusBadRequest, wire.CodeBadRequest, "debounce_ms and backlog must be non-negative")
+		return
+	}
+	solve, err := s.sessionSolve(req.Snapshot.Algorithm)
+	if err != nil {
+		writeErrorFor(w, r, http.StatusNotFound, err)
+		return
+	}
+	backlog := req.Backlog
+	if backlog == 0 {
+		backlog = s.cfg.SessionBacklog
+	}
+	if backlog > s.cfg.MaxTasks {
+		backlog = s.cfg.MaxTasks
+	}
+	sess, err := dispatch.Restore(r.Context(), req.Snapshot, dispatch.Config{
+		Debounce:  time.Duration(req.DebounceMS * float64(time.Millisecond)),
+		Backlog:   backlog,
+		Solve:     solve,
+		Hooks:     s.sessionHooks(),
+		SkipRatio: req.SkipRatio,
+	})
+	if err != nil {
+		writeError(w, r, http.StatusUnprocessableEntity, wire.CodeUnprocessable, "restore failed: %v", err)
+		return
+	}
+	if err := s.sessions.Adopt(req.ID, sess); err != nil {
+		sess.Close()
+		switch {
+		case errors.Is(err, dispatch.ErrDuplicateSession):
+			writeErrorFor(w, r, http.StatusConflict, err)
+		case errors.Is(err, dispatch.ErrTooManySessions):
+			retryAfter(w, 1)
+			writeErrorFor(w, r, http.StatusTooManyRequests, err)
+		default:
+			retryAfter(w, 1)
+			writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
+		}
+		return
+	}
+	s.metrics.sessionsOpened.Add(1)
+	s.metrics.sessionsRestored.Add(1)
+	s.cfg.Logger.Printf("msg=%q session=%s algorithm=%q cores=%d seq=%d",
+		"session restored", req.ID, req.Snapshot.Algorithm, req.Snapshot.Cores, req.Snapshot.Seq)
+	writeJSON(w, http.StatusCreated, SessionCreateResponse{
+		Version:   wire.Version,
+		ID:        req.ID,
+		Algorithm: req.Snapshot.Algorithm,
+		Cores:     req.Snapshot.Cores,
+		Backlog:   backlog,
+	})
 }
 
 // segmentsToWire converts raw segments (session committed/planned

@@ -447,8 +447,12 @@ func TestSessionConcurrentHTTPSoak(t *testing.T) {
 			for b := 0; b < batchesPer; b++ {
 				at := float64(b * 3)
 				resp, ar := arrive(t, hs.URL, created.ID, at, mustTasks(t,
-					task.Task{Release: at, Work: 1 + float64(i), Deadline: at + 15 + float64(i*5)},
-					task.Task{Release: at, Work: 0.5, Deadline: at + 10},
+					// Deadlines stay past the last arrival instant (15): with
+					// a debounce window, slow runs coalesce batches and the
+					// admission instant jumps to the newest arrival, which
+					// legitimately sheds pending tasks whose window closed.
+					task.Task{Release: at, Work: 1 + float64(i), Deadline: at + 20 + float64(i*5)},
+					task.Task{Release: at, Work: 0.5, Deadline: at + 20},
 				))
 				if resp.StatusCode != http.StatusOK {
 					errs <- fmt.Errorf("session %d batch %d: status %d", i, b, resp.StatusCode)

@@ -1,0 +1,76 @@
+package wire
+
+import "encoding/json"
+
+// ErrorCode is the machine-readable classification carried by every
+// non-2xx v1 response. Codes are stable API: clients switch on them,
+// so renaming one is a breaking change (bump Version).
+type ErrorCode string
+
+const (
+	// Client-side request problems.
+	CodeBadRequest       ErrorCode = "bad_request"       // malformed body or invalid parameters
+	CodeUnknownAlgorithm ErrorCode = "unknown_algorithm" // algorithm not registered
+	CodeNotFound         ErrorCode = "not_found"         // unknown route or session ID
+	CodeMethodNotAllowed ErrorCode = "method_not_allowed"
+	CodeInfeasible       ErrorCode = "infeasible"     // easched.ErrInfeasible: no schedule exists at f_max
+	CodeUnprocessable    ErrorCode = "unprocessable"  // instance rejected for another solver-side reason
+	CodeSessionClosed    ErrorCode = "session_closed" // lifecycle op on a finished session
+	CodeDuplicateSession ErrorCode = "duplicate_session"
+
+	// Retryable serving-side conditions.
+	CodeOverloaded  ErrorCode = "overloaded"   // admission queue or session/backlog limits
+	CodeDraining    ErrorCode = "draining"     // shutdown in progress
+	CodeBreakerOpen ErrorCode = "breaker_open" // circuit breaker denied the attempt
+	CodeTimeout     ErrorCode = "timeout"      // per-attempt solve deadline blew
+	CodeCanceled    ErrorCode = "canceled"     // request context ended first
+	CodeUnavailable ErrorCode = "unavailable"  // transient failure, fallback exhausted, bad gateway
+
+	// Server faults.
+	CodeSolverPanic     ErrorCode = "solver_panic"     // easched.ErrSolverPanic recovered
+	CodeInvalidSchedule ErrorCode = "invalid_schedule" // guardrail rejected the produced schedule
+	CodeInternal        ErrorCode = "internal"
+)
+
+// ErrorDetail is the error object inside the unified envelope.
+type ErrorDetail struct {
+	Code      ErrorCode `json:"code"`
+	Message   string    `json:"message"`
+	Retryable bool      `json:"retryable"`
+}
+
+// ErrorEnvelope is the body of every non-2xx v1 response:
+//
+//	{"version":1,"error":{"code":"overloaded","message":"...","retryable":true}}
+//
+// The pre-envelope {"error":"..."} shape is still served when the
+// request carries ?compat=1; that fallback is kept for one release.
+type ErrorEnvelope struct {
+	Version int         `json:"version"`
+	Error   ErrorDetail `json:"error"`
+}
+
+// RetryableStatus reports whether an HTTP status signals a transient
+// condition worth retrying with backoff.
+func RetryableStatus(status int) bool {
+	switch status {
+	case 429, 502, 503, 504:
+		return true
+	}
+	return false
+}
+
+// DecodeError extracts the error detail from a non-2xx response body,
+// accepting both the unified envelope and the legacy {"error":"..."}
+// compat shape. ok is false when the body carries neither.
+func DecodeError(body []byte) (d ErrorDetail, ok bool) {
+	var env ErrorEnvelope
+	if err := json.Unmarshal(body, &env); err == nil && env.Error.Code != "" {
+		return env.Error, true
+	}
+	var legacy ErrorResponse
+	if err := json.Unmarshal(body, &legacy); err == nil && legacy.Error != "" {
+		return ErrorDetail{Code: CodeInternal, Message: legacy.Error}, true
+	}
+	return ErrorDetail{}, false
+}

@@ -134,9 +134,12 @@ type BatchItem struct {
 	Index int `json:"index"`
 	// Response is the solve output on success.
 	Response *ScheduleResponse `json:"response,omitempty"`
-	// Error and Status report a per-item failure.
-	Error  string `json:"error,omitempty"`
-	Status int    `json:"status,omitempty"`
+	// Error and Status report a per-item failure; Code and Retryable
+	// classify it exactly like the top-level error envelope.
+	Error     string    `json:"error,omitempty"`
+	Status    int       `json:"status,omitempty"`
+	Code      ErrorCode `json:"code,omitempty"`
+	Retryable bool      `json:"retryable,omitempty"`
 }
 
 // BatchResponse is the body of POST /v1/schedule/batch. The HTTP status
@@ -170,7 +173,10 @@ type AlgorithmsResponse struct {
 	Algorithms []string `json:"algorithms"`
 }
 
-// ErrorResponse is the body of every non-2xx JSON response.
+// ErrorResponse is the legacy pre-envelope error body, still served
+// when a request carries ?compat=1.
+//
+// Deprecated: new clients should read ErrorEnvelope (see errors.go).
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
@@ -185,6 +191,11 @@ type SessionEvent = dispatch.Event
 
 // SessionCreateRequest is the body of POST /v1/sessions.
 type SessionCreateRequest struct {
+	// ID optionally fixes the session ID instead of letting the server
+	// mint one — the cluster router uses this so the ID it hashes for
+	// shard placement is the ID the backend serves. Must be unique on
+	// the backend (409 otherwise).
+	ID string `json:"id,omitempty"`
 	// Algorithm names the residual re-planning policy (default ReplanDER).
 	Algorithm string `json:"algorithm,omitempty"`
 	// Cores is the core count m ≥ 1.
@@ -264,6 +275,32 @@ type SessionFinalResponse struct {
 	Tasks            task.Set       `json:"tasks"`
 	Segments         []SegmentJSON  `json:"segments"`
 	Sim              *SimReportJSON `json:"sim,omitempty"`
+}
+
+// SessionSnapshot is the portable state of a live session (re-exported
+// from the dispatch runtime; it already carries JSON tags).
+type SessionSnapshot = dispatch.Snapshot
+
+// SessionSnapshotResponse is the body of GET /v1/sessions/{id}/snapshot:
+// a point-in-time portable capture of the session, restorable on any
+// backend via POST /v1/sessions/restore. Taking a snapshot does not
+// disturb the session.
+type SessionSnapshotResponse struct {
+	Version  int              `json:"version,omitempty"`
+	ID       string           `json:"id"`
+	Snapshot *SessionSnapshot `json:"snapshot"`
+}
+
+// SessionRestoreRequest is the body of POST /v1/sessions/restore: adopt
+// a session from a snapshot under its original ID. Runtime knobs that
+// are not part of the portable state (debounce, backlog, skip_ratio)
+// are supplied alongside.
+type SessionRestoreRequest struct {
+	ID         string           `json:"id"`
+	Snapshot   *SessionSnapshot `json:"snapshot"`
+	DebounceMS float64          `json:"debounce_ms,omitempty"`
+	Backlog    int              `json:"backlog,omitempty"`
+	SkipRatio  bool             `json:"skip_ratio,omitempty"`
 }
 
 // Segments converts schedule segments to the wire form.
