@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race fuzz-smoke chaos dispatch-soak dispatch-soak-smoke cluster-smoke vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
+.PHONY: all vet build test race fuzz-smoke chaos dispatch-soak dispatch-soak-smoke cluster-smoke crash-smoke vulncheck ci conform conform-smoke cover serve loadtest bench bench-smoke clean
 
 all: build
 
@@ -17,10 +17,14 @@ race:
 	$(GO) test -race ./...
 
 # Short differential-fuzz pass: every registered scheduler against the
-# independent oracles on randomized instances. The checked-in corpus
-# under testdata/fuzz/ also replays during plain `make test`.
+# independent oracles on randomized instances, plus the journal replay
+# engine against arbitrary log bytes. The checked-in corpus under
+# testdata/fuzz/ also replays during plain `make test`.
+# -fuzzminimizetime=0x skips corpus minimization, which dominates wall
+# clock on short runs without improving coverage.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz=FuzzSchedulers -fuzztime=10s .
+	$(GO) test -run '^$$' -fuzz=FuzzJournalReplay -fuzztime=10s -fuzzminimizetime=0x ./internal/journal
 
 # Fault-injection soak: schedd under every injection point, validating
 # client, zero crashes and zero invalid schedules tolerated. Tune with
@@ -47,6 +51,15 @@ dispatch-soak-smoke:
 cluster-smoke:
 	sh scripts/cluster_smoke.sh
 
+# Crash-recovery smoke: one journaled schedd (-data-dir), >= 25
+# streaming sessions with reconnecting SSE subscribers, the daemon
+# SIGKILLed mid-run and restarted over the same data dir. The committed
+# prefixes must survive verbatim (schedjournal verify against the
+# post-crash baseline), every session must finish with 0 validator
+# failures, and the deduped event streams must stay gapless.
+crash-smoke:
+	sh scripts/crash_smoke.sh
+
 # Known-vulnerability scan, skipped quietly where the tool isn't
 # installed (it needs network access to fetch the vuln DB).
 vulncheck:
@@ -56,7 +69,7 @@ vulncheck:
 		echo "vulncheck: govulncheck not installed, skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
-ci: vet build test race fuzz-smoke conform-smoke dispatch-soak-smoke cluster-smoke cover vulncheck
+ci: vet build test race fuzz-smoke conform-smoke dispatch-soak-smoke cluster-smoke crash-smoke cover vulncheck
 
 # Full metamorphic conformance matrix (nightly soak): every registered
 # scheduler × every generator regime × every relation, with minimized

@@ -11,7 +11,14 @@
 //	       [-timeout 5s] [-max-tasks 10000] [-no-verify] [-quiet]
 //	       [-fallback MaxFreq] [-breaker-threshold 5] [-breaker-cooldown 2s]
 //	       [-sessions 256] [-session-ttl 0] [-session-backlog 1024]
+//	       [-data-dir DIR] [-fsync interval]
 //	       [-faults point=rate,...] [-fault-seed N] [-fault-delay 100ms]
+//
+// With -data-dir set every session's lifecycle is journaled to a
+// crash-recoverable write-ahead log and replayed on the next start:
+// committed work, counters, and the SSE event ring survive a SIGKILL.
+// -fsync picks the durability policy (always | interval | never); see
+// internal/journal. Inspect or repair the logs with cmd/schedjournal.
 //
 // Endpoints (see internal/server):
 //
@@ -60,6 +67,7 @@ import (
 
 	"repro/internal/cliflag"
 	"repro/internal/fault"
+	"repro/internal/journal"
 	"repro/internal/server"
 )
 
@@ -95,11 +103,20 @@ func main() {
 		sessionTTL     = fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 disables)")
 		sessionBacklog = fs.Int("session-backlog", 0, "default per-session backlog before load-shedding (0 = default 1024)")
 
+		dataDir = fs.String("data-dir", "", "durable session journal directory (empty disables durability)")
+		fsyncP  = fs.String("fsync", "interval", "journal fsync policy: always | interval | never")
+
 		faultSpec  = fs.String("faults", "", "fault-injection spec point=rate,... (env SCHEDD_FAULTS); empty disables")
 		faultSeed  = fs.Int64("fault-seed", 0, "fault-injection RNG seed (env SCHEDD_FAULT_SEED; 0 = 1)")
 		faultDelay = fs.Duration("fault-delay", 0, "duration of injected solver_delay faults (0 = default 100ms)")
 	)
 	fs.Parse(os.Args[1:])
+
+	fsync, err := journal.ParsePolicy(*fsyncP)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedd: -fsync: %v\n", err)
+		os.Exit(2)
+	}
 
 	logOut := io.Writer(os.Stderr)
 	if *quiet {
@@ -146,10 +163,22 @@ func main() {
 		SessionLimit:       *sessionLimit,
 		SessionTTL:         *sessionTTL,
 		SessionBacklog:     *sessionBacklog,
+		DataDir:            *dataDir,
+		Fsync:              fsync,
 	})
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *dataDir != "" {
+		rep, err := srv.Recover(ctx)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "schedd: journal recovery: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "schedd: journal %s (fsync=%s): recovered %d sessions, %d failed, %d collected\n",
+			*dataDir, fsync, rep.Recovered, rep.Failed, rep.Collected)
+	}
 
 	nw := *workers
 	if nw <= 0 {

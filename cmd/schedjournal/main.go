@@ -1,0 +1,418 @@
+// Command schedjournal inspects and maintains schedd's durable session
+// journals (-data-dir) offline: dump the replayed state of every log as
+// JSON, verify a restarted directory against a pre-crash baseline (the
+// committed prefix must survive verbatim, counters must never move
+// backwards), and compact logs down to a single checkpoint segment.
+//
+// Usage:
+//
+//	schedjournal dump -data-dir DIR [-session ID] [-events] [-o out.json]
+//	schedjournal verify -data-dir DIR -baseline baseline.json
+//	schedjournal compact -data-dir DIR [-session ID]
+//
+// dump is crash-safe by construction — it only reads, and the replay
+// engine it shares with schedd's recovery never panics on any byte
+// sequence. verify exits 1 when any session regressed (lost committed
+// work, rewound counters, or a corrupted log); a session directory that
+// disappeared entirely is reported as collected, not failed, because
+// that is what recovery does with finished logs. compact skips finished
+// logs on purpose: dropping the segments that hold the finish record
+// would resurrect the session on the next restart.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/cliflag"
+	"repro/internal/dispatch"
+	"repro/internal/journal"
+)
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: schedjournal <command> [flags]
+
+commands:
+  dump     replay every session log and emit the folded state as JSON
+  verify   check a journal directory against a baseline dump
+  compact  rewrite unfinished logs as a single checkpoint segment
+
+run "schedjournal <command> -h" for the command's flags
+`)
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "dump":
+		os.Exit(cmdDump(os.Args[2:]))
+	case "verify":
+		os.Exit(cmdVerify(os.Args[2:]))
+	case "compact":
+		os.Exit(cmdCompact(os.Args[2:]))
+	case "-h", "-help", "--help", "help":
+		usage()
+		os.Exit(0)
+	default:
+		fmt.Fprintf(os.Stderr, "schedjournal: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+}
+
+// sessionDump is one session's replayed state in a dump file.
+type sessionDump struct {
+	ID           string             `json:"id"`
+	Finished     bool               `json:"finished,omitempty"`
+	FinishReason string             `json:"finish_reason,omitempty"`
+	Records      int                `json:"records"`
+	Segments     int                `json:"segments"`
+	Truncated    bool               `json:"truncated,omitempty"`
+	Error        string             `json:"error,omitempty"`
+	Snapshot     *dispatch.Snapshot `json:"snapshot,omitempty"`
+}
+
+// dumpFile is the schedjournal dump format, consumed by verify.
+type dumpFile struct {
+	Version  int           `json:"version"`
+	DataDir  string        `json:"data_dir"`
+	Sessions []sessionDump `json:"sessions"`
+}
+
+// listSessions returns the session IDs under <dataDir>/sessions, sorted
+// for deterministic output.
+func listSessions(dataDir string) ([]string, error) {
+	entries, err := os.ReadDir(filepath.Join(dataDir, "sessions"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var ids []string
+	for _, e := range entries {
+		if e.IsDir() {
+			ids = append(ids, e.Name())
+		}
+	}
+	sort.Strings(ids)
+	return ids, nil
+}
+
+func sessionPath(dataDir, id string) string {
+	return filepath.Join(dataDir, "sessions", id)
+}
+
+func replayOne(dataDir, id string, keepEvents bool) sessionDump {
+	rep := journal.ReplayDir(id, sessionPath(dataDir, id))
+	d := sessionDump{
+		ID:           rep.ID,
+		Finished:     rep.Finished,
+		FinishReason: rep.FinishReason,
+		Records:      rep.Records,
+		Segments:     rep.Segments,
+		Truncated:    rep.Truncated,
+		Snapshot:     rep.Snapshot,
+	}
+	if rep.Err != nil {
+		d.Error = rep.Err.Error()
+	}
+	if d.Snapshot != nil && !keepEvents {
+		d.Snapshot.Events = nil
+	}
+	return d
+}
+
+func cmdDump(args []string) int {
+	fs := cliflag.New("schedjournal dump")
+	dataDir := fs.String("data-dir", "", "schedd journal directory (required)")
+	session := fs.String("session", "", "dump only this session ID")
+	events := fs.Bool("events", false, "include the recovered event ring in snapshots")
+	out := fs.String("o", "", "write JSON here instead of stdout")
+	fs.Parse(args)
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "schedjournal dump: -data-dir is required")
+		fs.Usage()
+		return 2
+	}
+	ids, err := listSessions(*dataDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal dump: %v\n", err)
+		return 1
+	}
+	if *session != "" {
+		ids = []string{*session}
+	}
+	df := dumpFile{Version: 1, DataDir: *dataDir, Sessions: []sessionDump{}}
+	for _, id := range ids {
+		df.Sessions = append(df.Sessions, replayOne(*dataDir, id, *events))
+	}
+	buf, err := json.MarshalIndent(df, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal dump: %v\n", err)
+		return 1
+	}
+	buf = append(buf, '\n')
+	if *out == "" {
+		os.Stdout.Write(buf)
+		return 0
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal dump: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "schedjournal dump: wrote %d sessions to %s\n", len(df.Sessions), *out)
+	return 0
+}
+
+func cmdVerify(args []string) int {
+	fs := cliflag.New("schedjournal verify")
+	dataDir := fs.String("data-dir", "", "schedd journal directory (required)")
+	baseline := fs.String("baseline", "", "baseline dump file to verify against (required)")
+	fs.Parse(args)
+	if *dataDir == "" || *baseline == "" {
+		fmt.Fprintln(os.Stderr, "schedjournal verify: -data-dir and -baseline are required")
+		fs.Usage()
+		return 2
+	}
+	raw, err := os.ReadFile(*baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal verify: %v\n", err)
+		return 1
+	}
+	var base dumpFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal verify: bad baseline: %v\n", err)
+		return 1
+	}
+
+	var ok, collected, skipped, failed int
+	report := func(id, verdict, detail string) {
+		if detail != "" {
+			fmt.Printf("%-20s %-10s %s\n", id, verdict, detail)
+		} else {
+			fmt.Printf("%-20s %s\n", id, verdict)
+		}
+	}
+	for _, b := range base.Sessions {
+		if b.Error != "" {
+			skipped++
+			report(b.ID, "skipped", "baseline log was already corrupt")
+			continue
+		}
+		if _, err := os.Stat(sessionPath(*dataDir, b.ID)); os.IsNotExist(err) {
+			// Recovery garbage-collects finished logs and DELETE removes
+			// them: a missing directory means the session completed, not
+			// that data was lost mid-flight.
+			collected++
+			report(b.ID, "collected", "log removed (session completed)")
+			continue
+		}
+		// verify may run against a live schedd: a session can finish —
+		// and its log be deleted (files first, then the directory) —
+		// between the stat above and the replay's file reads, which
+		// shows up as a read error or an empty log. Settle and retry
+		// before trusting either; a directory that disappears entirely
+		// confirms the teardown.
+		cur := replayOne(*dataDir, b.ID, false)
+		gone := false
+		for attempt := 0; attempt < 5 && (cur.Error != "" || cur.Snapshot == nil); attempt++ {
+			time.Sleep(100 * time.Millisecond)
+			if _, err := os.Stat(sessionPath(*dataDir, b.ID)); os.IsNotExist(err) {
+				gone = true
+				break
+			}
+			cur = replayOne(*dataDir, b.ID, false)
+		}
+		if gone {
+			collected++
+			report(b.ID, "collected", "log removed mid-verify (session completed)")
+			continue
+		}
+		if msg := verifySession(b, cur); msg != "" {
+			failed++
+			report(b.ID, "FAIL", msg)
+			continue
+		}
+		ok++
+		report(b.ID, "ok", fmt.Sprintf("records %d -> %d, committed %d -> %d",
+			b.Records, cur.Records, committedLen(b.Snapshot), committedLen(cur.Snapshot)))
+	}
+	fmt.Printf("verify: %d ok, %d collected, %d skipped, %d failed (%d baseline sessions)\n",
+		ok, collected, skipped, failed, len(base.Sessions))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func committedLen(s *dispatch.Snapshot) int {
+	if s == nil {
+		return 0
+	}
+	return len(s.Committed)
+}
+
+// verifySession checks that cur is a legal successor of baseline b:
+// nothing durable may be lost and nothing may move backwards. Returns
+// "" on success, otherwise the failure description.
+func verifySession(b, cur sessionDump) string {
+	if cur.Error != "" {
+		return "replay failed: " + cur.Error
+	}
+	if cur.Snapshot == nil {
+		if b.Snapshot == nil {
+			return ""
+		}
+		return "log replays to nothing but the baseline had state"
+	}
+	if b.Snapshot == nil {
+		return "" // baseline had no folded state: nothing to regress
+	}
+	if b.Finished && !cur.Finished {
+		return "finish record lost: baseline was finished, current is not"
+	}
+	bs, cs := b.Snapshot, cur.Snapshot
+	switch {
+	case cs.Seq < bs.Seq:
+		return fmt.Sprintf("event seq went backwards: %d -> %d", bs.Seq, cs.Seq)
+	case cs.Now < bs.Now:
+		return fmt.Sprintf("clock went backwards: %g -> %g", bs.Now, cs.Now)
+	case cs.Commits < bs.Commits:
+		return fmt.Sprintf("commit count went backwards: %d -> %d", bs.Commits, cs.Commits)
+	case cs.Replans < bs.Replans:
+		return fmt.Sprintf("replan count went backwards: %d -> %d", bs.Replans, cs.Replans)
+	case cs.ShedCount < bs.ShedCount:
+		return fmt.Sprintf("shed count went backwards: %d -> %d", bs.ShedCount, cs.ShedCount)
+	case len(cs.Tasks) < len(bs.Tasks):
+		return fmt.Sprintf("task table shrank: %d -> %d", len(bs.Tasks), len(cs.Tasks))
+	case len(cs.Committed) < len(bs.Committed):
+		return fmt.Sprintf("committed prefix shrank: %d -> %d segments", len(bs.Committed), len(cs.Committed))
+	}
+	for i := range bs.Committed {
+		if !reflect.DeepEqual(bs.Committed[i], cs.Committed[i]) {
+			return fmt.Sprintf("committed segment %d diverged: %+v -> %+v", i, bs.Committed[i], cs.Committed[i])
+		}
+	}
+	for i := range bs.Tasks {
+		bt, ct := bs.Tasks[i], cs.Tasks[i]
+		if bt.Release != ct.Release || bt.Work != ct.Work || bt.Deadline != ct.Deadline || bt.ArrivedAt != ct.ArrivedAt {
+			return fmt.Sprintf("task %d parameters changed: %+v -> %+v", i, bt, ct)
+		}
+		if ct.Remaining > bt.Remaining {
+			return fmt.Sprintf("task %d remaining work grew: %g -> %g", i, bt.Remaining, ct.Remaining)
+		}
+		if bt.Done && !ct.Done {
+			return fmt.Sprintf("task %d un-completed", i)
+		}
+	}
+	return ""
+}
+
+func cmdCompact(args []string) int {
+	fs := cliflag.New("schedjournal compact")
+	dataDir := fs.String("data-dir", "", "schedd journal directory (required)")
+	session := fs.String("session", "", "compact only this session ID")
+	fs.Parse(args)
+	if *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "schedjournal compact: -data-dir is required")
+		fs.Usage()
+		return 2
+	}
+	st, err := journal.Open(*dataDir, journal.Options{Fsync: journal.FsyncAlways})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal compact: %v\n", err)
+		return 1
+	}
+	defer st.Close()
+	ids, err := st.Sessions()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "schedjournal compact: %v\n", err)
+		return 1
+	}
+	if *session != "" {
+		ids = []string{*session}
+	}
+	sort.Strings(ids)
+	var compacted, skipped, failed int
+	for _, id := range ids {
+		verdict, err := compactOne(st, id)
+		switch {
+		case err != nil:
+			failed++
+			fmt.Printf("%-20s FAIL       %v\n", id, err)
+		case strings.HasPrefix(verdict, "compacted"):
+			compacted++
+			fmt.Printf("%-20s %s\n", id, verdict)
+		default:
+			skipped++
+			fmt.Printf("%-20s %s\n", id, verdict)
+		}
+	}
+	fmt.Printf("compact: %d compacted, %d skipped, %d failed (%d sessions)\n",
+		compacted, skipped, failed, len(ids))
+	if failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+// compactOne rewrites one session's log as checkpoint-only. The append
+// path already implements compaction — a checkpoint record rotates to a
+// fresh segment and deletes the older ones once it is durable — so this
+// is just "replay, then append what the fold produced".
+func compactOne(st *journal.Store, id string) (string, error) {
+	rep := st.Replay(id)
+	if rep.Err != nil {
+		return "", fmt.Errorf("replay: %w", rep.Err)
+	}
+	if rep.Snapshot == nil {
+		return "skipped    empty log", nil
+	}
+	if rep.Finished {
+		// The finish record lives in the existing segments; compacting
+		// would drop it and resurrect the session on the next restart.
+		// Recovery collects finished logs anyway.
+		return "skipped    finished (" + rep.FinishReason + "); collected on next restart", nil
+	}
+	if rep.Segments == 1 && rep.Records == 1 {
+		return "skipped    already compact", nil
+	}
+	w, err := st.Writer(id)
+	if err != nil {
+		return "", err
+	}
+	snap := rep.Snapshot
+	rec := &dispatch.Record{
+		Kind:      dispatch.RecCheckpoint,
+		Clock:     snap.Now,
+		Seq:       snap.Seq,
+		Realized:  snap.Realized,
+		Replans:   snap.Replans,
+		Commits:   snap.Commits,
+		ShedCount: snap.ShedCount,
+		Snapshot:  snap,
+	}
+	if err := w.Append(rec); err != nil {
+		w.Close()
+		return "", fmt.Errorf("append checkpoint: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return "", err
+	}
+	after := journal.ReplayDir(id, sessionPath(st.Dir(), id))
+	if after.Err != nil {
+		return "", fmt.Errorf("post-compaction replay: %w", after.Err)
+	}
+	return fmt.Sprintf("compacted  %d segments / %d records -> %d / %d",
+		rep.Segments, rep.Records, after.Segments, after.Records), nil
+}

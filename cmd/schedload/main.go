@@ -36,6 +36,12 @@
 //
 //	schedload -stream -sessions 50 -process poisson -batches 20 -rate 0.5
 //	schedload -stream -process bursty -debounce-ms 5 -regime harmonic
+//
+// With -reconnect (crash soak, against schedd -data-dir) broken SSE
+// streams are resubscribed until the graceful terminator arrives, and
+// replayed events — journal durability is at-least-once — are
+// deduplicated by id, so a SIGKILL + restart of the server must still
+// yield gapless event sequences and zero validator failures.
 package main
 
 import (
@@ -104,7 +110,8 @@ func main() {
 		debounceMS = fs.Float64("debounce-ms", 0, "server-side arrival-coalescing window (-stream)")
 		traceFile  = fs.String("trace", "", "replay a taskgen -arrivals JSON trace in every session (-stream)")
 
-		router = fs.Bool("router", false, "cluster soak mode: the target is a schedrouter; retry through migrations (default -retries 4) and require gapless SSE ids")
+		router    = fs.Bool("router", false, "cluster soak mode: the target is a schedrouter; retry through migrations (default -retries 4) and require gapless SSE ids")
+		reconnect = fs.Bool("reconnect", false, "crash soak mode: resubscribe broken SSE streams and dedupe replayed events by id (-stream, use against schedd -data-dir)")
 	)
 	fs.Parse(os.Args[1:])
 
@@ -148,11 +155,12 @@ func main() {
 			debounceMS: *debounceMS,
 			traceFile:  *traceFile,
 
-			seed:     *seed,
-			noVerify: *noVerify,
-			retries:  *retries,
-			tolerate: *tolerate,
-			timeout:  *timeout,
+			seed:      *seed,
+			noVerify:  *noVerify,
+			retries:   *retries,
+			tolerate:  *tolerate,
+			timeout:   *timeout,
+			reconnect: *reconnect,
 		}))
 	}
 

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/check"
@@ -42,11 +43,12 @@ type streamConfig struct {
 	debounceMS float64
 	traceFile  string // replay one taskgen -arrivals trace in every session
 
-	seed     int64
-	noVerify bool
-	retries  int
-	tolerate bool
-	timeout  time.Duration
+	seed      int64
+	noVerify  bool
+	retries   int
+	tolerate  bool
+	timeout   time.Duration
+	reconnect bool // resubscribe broken SSE streams, dedupe by event id
 }
 
 // sessionOutcome is one session's tally.
@@ -66,6 +68,15 @@ type sessionOutcome struct {
 	streamClean bool
 	err         string // written by driveSession only
 	sseErr      string // written by the consumeSSE goroutine only
+
+	// subscribed tracks whether the SSE consumer currently holds a live
+	// subscription (-reconnect): driveSession waits on it before DELETE
+	// so the final event lands on a stream instead of racing teardown.
+	subscribed atomic.Bool
+	// finished is set once DELETE returned the final report
+	// (-reconnect): a 404 on resubscribe after that is our own
+	// teardown, not a lost session.
+	finished atomic.Bool
 }
 
 // runStream drives N concurrent streaming sessions end to end: create,
@@ -222,7 +233,7 @@ func driveSession(cfg streamConfig, client, sseClient *http.Client, tr task.Trac
 	sseDone := make(chan struct{})
 	go func() {
 		defer close(sseDone)
-		consumeSSE(sseCtx, sseClient, base+"/v1/sessions/"+created.ID+"/events", out)
+		consumeSSE(sseCtx, cfg, sseClient, base+"/v1/sessions/"+created.ID+"/events", out)
 	}()
 	defer func() {
 		sseCancel()
@@ -248,6 +259,18 @@ func driveSession(cfg streamConfig, client, sseClient *http.Client, tr task.Trac
 		out.shed += ar.Shed
 	}
 
+	if cfg.reconnect {
+		// A crash may have severed the event stream. Wait for the
+		// consumer to resubscribe before finishing the session: the
+		// final event and the graceful terminator only land on a live
+		// stream, and a resubscribe after the DELETE would find the
+		// session gone (404).
+		deadline := time.Now().Add(cfg.timeout)
+		for !out.subscribed.Load() && time.Now().Before(deadline) {
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
 	// DELETE runs the retroactive clairvoyant-optimum solve, which can
 	// far outlast the per-request timeout under many concurrent
 	// sessions; use the untimeouted client so a slow finish is not cut
@@ -258,6 +281,7 @@ func driveSession(cfg streamConfig, client, sseClient *http.Client, tr task.Trac
 		out.err = fmt.Sprintf("finish: %v", err)
 		return
 	}
+	out.finished.Store(true)
 	out.replans = final.Replans
 	out.completed = final.Completed
 	out.missed = len(final.Missed)
@@ -292,29 +316,70 @@ func driveSession(cfg streamConfig, client, sseClient *http.Client, tr task.Trac
 }
 
 // consumeSSE reads a text/event-stream until the server closes it (or
-// ctx cancels the subscription), tallying events into out.
-func consumeSSE(ctx context.Context, client *http.Client, url string, out *sessionOutcome) {
+// ctx cancels the subscription), tallying events into out. With
+// cfg.reconnect it treats a broken connection as transient — the server
+// crashed and will come back with the session recovered from its
+// journal — and resubscribes until the graceful terminator arrives.
+// Journal durability is at-least-once: the recovered stream replays
+// history the client already saw, so replayed ids (id <= lastID) are
+// deduplicated rather than counted as sequence errors.
+func consumeSSE(ctx context.Context, cfg streamConfig, client *http.Client, url string, out *sessionOutcome) {
+	var lastID int64
+	for {
+		ok, retryable := consumeSSEOnce(ctx, client, url, out, &lastID, cfg.reconnect)
+		if ok || !cfg.reconnect || !retryable || ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(100 * time.Millisecond):
+		}
+	}
+}
+
+// consumeSSEOnce is one SSE subscription attempt. ok reports the stream
+// ended with the graceful terminator; retryable reports a failure mode
+// worth resubscribing after (connection refused/broken, 5xx) as opposed
+// to a definitive one (404: the session is gone).
+func consumeSSEOnce(ctx context.Context, client *http.Client, url string, out *sessionOutcome, lastID *int64, dedupe bool) (ok, retryable bool) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 	if err != nil {
 		out.sseErr = fmt.Sprintf("events: %v", err)
-		return
+		return false, false
 	}
 	resp, err := client.Do(req)
 	if err != nil {
 		if ctx.Err() == nil {
 			out.sseErr = fmt.Sprintf("events: %v", err)
 		}
-		return
+		return false, true
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound && dedupe && out.finished.Load() {
+		// Our own DELETE tore the session down and the crash ate the
+		// stream's tail before it could be replayed. Completion is
+		// confirmed out-of-band: the DELETE response carried the full
+		// final report (a superset of the final event), so the stream
+		// counts as terminated cleanly rather than lost.
+		out.streamClean = true
+		out.finalEvent = true
+		out.sseErr = ""
+		return true, false
+	}
 	if resp.StatusCode != http.StatusOK {
 		out.sseErr = fmt.Sprintf("events: HTTP %d", resp.StatusCode)
-		return
+		// In reconnect mode a 404 can be the transient gap between the
+		// server-side teardown and our DELETE response landing; keep
+		// retrying, the finished flag resolves it next attempt.
+		return false, dedupe || resp.StatusCode != http.StatusNotFound
 	}
+	out.subscribed.Store(true)
+	defer out.subscribed.Store(false)
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
 	var data []byte
-	var id, lastID int64 = 0, 0
+	var id int64
 	for sc.Scan() {
 		line := sc.Text()
 		switch {
@@ -325,13 +390,17 @@ func consumeSSE(ctx context.Context, client *http.Client, url string, out *sessi
 		case strings.HasPrefix(line, ": stream closed"):
 			out.streamClean = true
 		case line == "" && data != nil:
+			if dedupe && id <= *lastID {
+				data = nil // replayed history after a resubscribe
+				continue
+			}
 			// Event ids must be gapless 1,2,3,... — both from schedd
 			// directly and through the router across a migration; a skip
 			// means a lost event, a repeat means a duplicated one.
-			if id != lastID+1 {
+			if id != *lastID+1 {
 				out.seqGaps++
 			}
-			lastID = id
+			*lastID = id
 			var ev wire.SessionEvent
 			if json.Unmarshal(data, &ev) == nil {
 				out.events++
@@ -343,7 +412,13 @@ func consumeSSE(ctx context.Context, client *http.Client, url string, out *sessi
 		}
 	}
 	// EOF without a terminal comment means the connection dropped rather
-	// than the session closing; streamClean stays false.
+	// than the session closing; streamClean stays false (unless a
+	// resubscribe later sees the terminator).
+	if out.streamClean {
+		out.sseErr = "" // earlier transient failures were recovered from
+		return true, false
+	}
+	return false, true
 }
 
 // reportStream prints the aggregate summary and returns the exit code.

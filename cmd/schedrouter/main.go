@@ -7,7 +7,7 @@
 //	    [-addr :8080] [-timeout 10s] [-health-interval 500ms]
 //	    [-health-failures 2] [-retries N] [-breaker-threshold 5]
 //	    [-breaker-cooldown 2s] [-breaker-max-cooldown 30s]
-//	    [-grace 5s] [-quiet]
+//	    [-grace 5s] [-recovery-grace 0] [-quiet]
 //
 // One-shot solves (/v1/schedule, /v1/schedule/batch, /v1/feasible) are
 // load-balanced across healthy backends with bounded retries behind
@@ -15,7 +15,10 @@
 // rendezvous hashing on the session ID; when a backend fails its
 // readyz probes, its sessions migrate to the next backend in their
 // preference order via the dispatch snapshot/restore path, and SSE
-// streams resume with no client-visible sequence gaps.
+// streams resume with no client-visible sequence gaps. With
+// -recovery-grace set the router instead waits up to that long for the
+// backend to come back with its journaled sessions (schedd -data-dir)
+// and re-adopts them in place, preserving the committed prefix exactly.
 //
 // Endpoints mirror schedd's v1 surface plus the router's own /healthz,
 // /readyz (503 while draining or with zero healthy backends), and
@@ -57,6 +60,7 @@ func main() {
 		brCooldown  = fs.Duration("breaker-cooldown", 0, "initial open-breaker cooldown (0 = default 2s)")
 		brMax       = fs.Duration("breaker-max-cooldown", 0, "cap on the growing cooldown (0 = default 30s)")
 		grace       = fs.Duration("grace", 5*time.Second, "drain timeout on shutdown")
+		recovGrace  = fs.Duration("recovery-grace", 0, "wait this long for a down backend to restart with its journaled sessions before migrating them (0 = migrate immediately)")
 		quiet       = fs.Bool("quiet", false, "suppress router log lines")
 	)
 	fs.Parse(os.Args[1:])
@@ -90,6 +94,7 @@ func main() {
 		BreakerCooldown:    *brCooldown,
 		BreakerMaxCooldown: *brMax,
 		GraceTimeout:       *grace,
+		RecoveryGrace:      *recovGrace,
 		Logger:             logger,
 	})
 	if err != nil {

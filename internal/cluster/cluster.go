@@ -55,6 +55,13 @@ type Config struct {
 	BreakerMaxCooldown time.Duration
 	// GraceTimeout bounds the drain on shutdown (default 5s).
 	GraceTimeout time.Duration
+	// RecoveryGrace, when positive, makes the router wait up to this long
+	// for a down backend to come back with its journaled sessions
+	// recovered (schedd -data-dir) before migrating them. A backend that
+	// answers the probe without the session (no journal, recovery failed)
+	// is migrated from immediately. 0 (the default) migrates immediately,
+	// the pre-journal behavior.
+	RecoveryGrace time.Duration
 	// Logger receives structured log lines (default: discard).
 	Logger *log.Logger
 	// Transport overrides the proxy transport (tests).
@@ -87,6 +94,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.GraceTimeout <= 0 {
 		c.GraceTimeout = 5 * time.Second
+	}
+	if c.RecoveryGrace < 0 {
+		c.RecoveryGrace = 0
 	}
 	if c.Logger == nil {
 		c.Logger = log.New(io.Discard, "", 0)

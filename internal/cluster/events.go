@@ -41,17 +41,20 @@ func (rt *Router) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 
 	var outSeq int64
 	lastSeq := int64(-1)
-	curGen := int64(-1)
+	curEpoch := int64(-1)
 	for {
-		home, gen, genCh, closed := rt.location(sess)
+		home, gen, epoch, genCh, closed := rt.locationEpoch(sess)
 		if closed || home == nil {
 			writeTerminator(w, flusher)
 			return
 		}
-		if gen != curGen {
-			// New generation, new backend hub: its history starts at the
-			// restore point, so everything it sends is new to us.
-			curGen, lastSeq = gen, -1
+		if epoch != curEpoch {
+			// New hub (migration restored onto a fresh backend): its
+			// history starts at the restore point, so everything it sends
+			// is new to us. A re-adoption keeps the epoch — the recovered
+			// hub replays history we may have already relayed, and the
+			// kept lastSeq drops those duplicates.
+			curEpoch, lastSeq = epoch, -1
 		}
 		resp, err := rt.openStream(r.Context(), home, id, r.URL.RawQuery)
 		if err != nil {

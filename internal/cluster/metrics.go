@@ -20,6 +20,7 @@ type routerMetrics struct {
 	sessionsFinished atomic.Int64
 	migrations       atomic.Int64
 	migrationFails   atomic.Int64
+	readoptions      atomic.Int64
 	snapshotFails    atomic.Int64
 	streamResumes    atomic.Int64
 	retries          atomic.Int64
@@ -80,6 +81,7 @@ func (m *routerMetrics) Write(w io.Writer, backends []*backend, routed int) {
 	fmt.Fprintf(w, "schedrouter_sessions_finished_total %d\n", m.sessionsFinished.Load())
 	fmt.Fprintf(w, "schedrouter_migrations_total %d\n", m.migrations.Load())
 	fmt.Fprintf(w, "schedrouter_migration_failures_total %d\n", m.migrationFails.Load())
+	fmt.Fprintf(w, "schedrouter_readoptions_total %d\n", m.readoptions.Load())
 	fmt.Fprintf(w, "schedrouter_snapshot_refresh_failures_total %d\n", m.snapshotFails.Load())
 	fmt.Fprintf(w, "schedrouter_stream_resumes_total %d\n", m.streamResumes.Load())
 	fmt.Fprintf(w, "schedrouter_proxy_retries_total %d\n", m.retries.Load())

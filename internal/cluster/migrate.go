@@ -116,6 +116,30 @@ func (rt *Router) migrateFrom(sess *routedSession, from *backend, observedGen in
 	create := sess.create
 	rt.mu.Unlock()
 
+	// Durable backends get a grace window to come back with the session
+	// recovered from its journal: re-adopting in place preserves the
+	// committed prefix and the event history exactly, where a migration
+	// restores from the (possibly stale) last snapshot the router saw.
+	if rt.cfg.RecoveryGrace > 0 && rt.waitRecovered(sess.id, from) {
+		rt.mu.Lock()
+		sess.migrating = false
+		if !sess.closed && sess.home == from && sess.gen == observedGen {
+			// Same home, same hub (epoch unchanged: the recovered stream
+			// replays its journal-seeded ring and the pump dedupes those
+			// replays by backend sequence); bump gen so waiting pumps
+			// reconnect.
+			sess.gen++
+			close(sess.genCh)
+			sess.genCh = make(chan struct{})
+			rt.metrics.readoptions.Add(1)
+			rt.cfg.Logger.Printf("msg=%q session=%s backend=%s gen=%d",
+				"session re-adopted after backend recovery", sess.id, from.name, sess.gen)
+		}
+		rt.cond.Broadcast()
+		rt.mu.Unlock()
+		return
+	}
+
 	target, used := rt.restoreElsewhere(sess.id, create, from, cached)
 
 	rt.mu.Lock()
@@ -124,6 +148,7 @@ func (rt *Router) migrateFrom(sess *routedSession, from *backend, observedGen in
 		old := sess.home
 		sess.home = target
 		sess.gen++
+		sess.hubEpoch++
 		sess.snap = used
 		close(sess.genCh)
 		sess.genCh = make(chan struct{})
@@ -183,6 +208,52 @@ func (rt *Router) restoreElsewhere(id string, create wire.SessionCreateRequest, 
 		rt.cfg.Logger.Printf("msg=%q session=%s backend=%s status=%d", "restore rejected", id, b.name, rp.status)
 	}
 	return nil, nil
+}
+
+// waitRecovered polls the down backend for up to RecoveryGrace, probing
+// the session itself rather than /readyz: a 200 on the session's
+// schedule endpoint proves the backend is back AND recovered this
+// session from its journal. A 404 is a definitive no — the backend
+// restarted without the session (no journal, or its recovery failed) —
+// and ends the wait early so migration proceeds.
+func (rt *Router) waitRecovered(id string, b *backend) bool {
+	period := rt.cfg.HealthInterval
+	if period <= 0 {
+		period = 100 * time.Millisecond
+	}
+	probeTimeout := 4 * period
+	if probeTimeout > time.Second {
+		probeTimeout = time.Second
+	}
+	deadline := rt.cfg.Now().Add(rt.cfg.RecoveryGrace)
+	for rt.cfg.Now().Before(deadline) {
+		select {
+		case <-rt.stopCh:
+			return false
+		case <-time.After(period):
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), probeTimeout)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url("/v1/sessions/"+id+"/schedule", ""), nil)
+		if err != nil {
+			cancel()
+			return false
+		}
+		resp, err := rt.client.Do(req)
+		cancel()
+		if err != nil {
+			continue // still down
+		}
+		code := resp.StatusCode
+		resp.Body.Close()
+		switch code {
+		case http.StatusOK:
+			return true
+		case http.StatusNotFound:
+			return false
+		}
+		// Anything else (503 draining, 500): keep waiting out the grace.
+	}
+	return false
 }
 
 // reapStaleCopy deletes the pre-migration session copy on its old

@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/server/wire"
+	"repro/internal/task"
+)
+
+// TestReadoptionAfterBackendRecovery crashes a journaled backend behind
+// the router and restarts it on the same address: with RecoveryGrace set
+// the router must re-adopt the recovered session in place (no
+// migration), and the session must keep working — committed prefix
+// intact, SSE replay gapless, clean finish.
+func TestReadoptionAfterBackendRecovery(t *testing.T) {
+	dir := t.TempDir()
+
+	// A swappable front for the backend so its URL survives the
+	// "restart" (a real process would keep its port; httptest cannot).
+	var down atomic.Bool
+	var inner atomic.Value // http.Handler
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if down.Load() {
+			http.Error(w, "connection refused (simulated)", http.StatusServiceUnavailable)
+			return
+		}
+		inner.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(front.Close)
+
+	newJournaled := func() *server.Server {
+		srv := server.New(server.Config{DataDir: dir})
+		if _, err := srv.Recover(context.Background()); err != nil {
+			t.Fatalf("Recover: %v", err)
+		}
+		return srv
+	}
+	srvA := newJournaled()
+	inner.Store(srvA.Handler())
+
+	rt, err := New(Config{
+		Backends:       []string{front.URL},
+		Timeout:        5 * time.Second,
+		HealthInterval: 25 * time.Millisecond,
+		HealthFailures: 2,
+		RecoveryGrace:  5 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rhs := httptest.NewServer(rt.Handler())
+	t.Cleanup(rhs.Close)
+	t.Cleanup(rt.Close)
+
+	resp, body := postJSON(t, rhs.URL+"/v1/sessions", wire.SessionCreateRequest{
+		Cores: 2, Model: wire.ModelJSON{Alpha: 3, P0: 0.05},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create: %d: %s", resp.StatusCode, body)
+	}
+	var created wire.SessionCreateResponse
+	if err := json.Unmarshal(body, &created); err != nil {
+		t.Fatal(err)
+	}
+	id := created.ID
+
+	ts, err := task.New([3]float64{0, 2, 8}, [3]float64{0, 1, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, rhs.URL+"/v1/sessions/"+id+"/tasks", wire.ArrivalRequest{At: 0, Tasks: ts})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arrive: %d: %s", resp.StatusCode, body)
+	}
+
+	// Crash the backend (no drain from the session's point of view: the
+	// journal keeps its unfinished state) and take the address down so
+	// the health poll notices.
+	down.Store(true)
+	srvA.Close()
+
+	// Wait for the router to mark the backend down (and start its
+	// recovery-grace wait rather than migrating).
+	deadline := time.Now().Add(3 * time.Second)
+	for rt.backends[0].up.Load() {
+		if time.Now().After(deadline) {
+			t.Fatal("backend never marked down")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// "Restart" the backend over the same data dir on the same address.
+	srvB := newJournaled()
+	t.Cleanup(srvB.Close)
+	inner.Store(srvB.Handler())
+	down.Store(false)
+
+	// The router must re-adopt, not migrate.
+	deadline = time.Now().Add(5 * time.Second)
+	for rt.metrics.readoptions.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("no re-adoption (migrations=%d fails=%d)",
+				rt.metrics.migrations.Load(), rt.metrics.migrationFails.Load())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := rt.metrics.migrations.Load(); n != 0 {
+		t.Fatalf("session migrated (%d) despite recovery grace", n)
+	}
+
+	// The recovered session keeps serving through the router.
+	ts2, err := task.New([3]float64{3, 2, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = postJSON(t, rhs.URL+"/v1/sessions/"+id+"/tasks", wire.ArrivalRequest{At: 3, Tasks: ts2})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("arrive after re-adoption: %d: %s", resp.StatusCode, body)
+	}
+
+	// SSE through the router replays the journal-seeded history with
+	// gapless renumbered ids.
+	sresp, err := http.Get(rhs.URL + "/v1/sessions/" + id + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := make(chan sseFrame, 256)
+	gracefulCh := make(chan bool, 1)
+	go collectSSE(t, sresp.Body, frames, gracefulCh)
+
+	req, _ := http.NewRequest(http.MethodDelete, rhs.URL+"/v1/sessions/"+id, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, _ := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("delete: %d: %s", dresp.StatusCode, dbody)
+	}
+	var final wire.SessionFinalResponse
+	if err := json.Unmarshal(dbody, &final); err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Violations) != 0 {
+		t.Fatalf("violations after re-adoption: %v", final.Violations)
+	}
+	if final.Completed != 3 || final.Shed != 0 {
+		t.Fatalf("lost tasks across recovery: completed %d shed %d", final.Completed, final.Shed)
+	}
+
+	var last int64
+	for fr := range frames {
+		if fr.id != last+1 {
+			t.Fatalf("SSE id gap after re-adoption: got %d after %d", fr.id, last)
+		}
+		last = fr.id
+	}
+	if graceful := <-gracefulCh; !graceful {
+		t.Fatal("stream did not end with the graceful terminator")
+	}
+	if last == 0 {
+		t.Fatal("no events on the re-adopted stream")
+	}
+}

@@ -49,6 +49,14 @@ type routedSession struct {
 	snap      *wire.SessionSnapshot
 	migrating bool
 	closed    bool
+
+	// hubEpoch identifies the backend event hub serving this session's
+	// stream. A migration restores onto a fresh hub (epoch bumps: the new
+	// stream starts at the restore point, everything it sends is new); a
+	// re-adoption after backend recovery keeps the SAME hub identity
+	// (epoch unchanged: the recovered backend replays its journal-seeded
+	// ring, and the pump must dedupe those replays by backend sequence).
+	hubEpoch int64
 }
 
 func (rt *Router) lookup(id string) *routedSession {
@@ -68,6 +76,13 @@ func (rt *Router) location(s *routedSession) (home *backend, gen int64, genCh ch
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
 	return s.home, s.gen, s.genCh, s.closed
+}
+
+// locationEpoch is location plus the hub epoch (SSE pump only).
+func (rt *Router) locationEpoch(s *routedSession) (home *backend, gen, epoch int64, genCh chan struct{}, closed bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return s.home, s.gen, s.hubEpoch, s.genCh, s.closed
 }
 
 // setSnapshot caches snap if the session is still in the observed

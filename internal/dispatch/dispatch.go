@@ -65,6 +65,11 @@ type Hooks struct {
 	Replan func(latency time.Duration, err error)
 	// Shed observes every load-shedding decision with the task count.
 	Shed func(n int)
+	// JournalError observes the append failure that put the session into
+	// degraded (journal-broken) mode. Unlike the other hooks it IS
+	// invoked with the session mutex held, so it must not call back into
+	// the session — count, log, and return.
+	JournalError func(err error)
 }
 
 // Defaults applied by Config.withDefaults.
@@ -81,6 +86,10 @@ const (
 	// DefaultRetries is how many times a failed residual solve is
 	// retried before the pending batch is shed.
 	DefaultRetries = 2
+	// DefaultCheckpointEvery is how many delta records a journaled
+	// session writes between automatic full-snapshot checkpoints (the
+	// journal's compaction points).
+	DefaultCheckpointEvery = 64
 )
 
 // Config describes one session.
@@ -115,6 +124,14 @@ type Config struct {
 	// SkipRatio disables the clairvoyant-optimum solve at Finish (the
 	// competitive ratio is then reported as 0).
 	SkipRatio bool
+	// Journal, when set, persists the session lifecycle as a write-ahead
+	// log (see Journal and internal/journal). Events become visible to
+	// subscribers only after their record is appended.
+	Journal Journal
+	// CheckpointEvery bounds delta records between automatic checkpoints
+	// (0 selects DefaultCheckpointEvery; negative disables automatic
+	// checkpoints — Checkpoint/Seal still write explicit ones).
+	CheckpointEvery int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -144,6 +161,9 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Tolerance <= 0 {
 		c.Tolerance = 1e-9
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = DefaultCheckpointEvery
 	}
 	if c.Solve == nil {
 		solve, err := registrySolve(c.Algorithm)

@@ -98,6 +98,25 @@ func (h *eventHub) emit(ev Event) {
 	}
 }
 
+// ring returns the retained history, oldest first.
+func (h *eventHub) ring() []Event {
+	out := make([]Event, 0, len(h.history))
+	for i := 0; i < len(h.history); i++ {
+		out = append(out, h.history[(h.start+i)%len(h.history)])
+	}
+	return out
+}
+
+// seed preloads the replay ring with recovered history (newest cap
+// entries win). Called during Restore, before any emit.
+func (h *eventHub) seed(events []Event) {
+	if len(events) > h.cap {
+		events = events[len(events)-h.cap:]
+	}
+	h.history = append([]Event(nil), events...)
+	h.start = 0
+}
+
 // subscribe registers a consumer, replaying the retained history first.
 // The returned channel is closed when the session closes; cancel
 // detaches early. A nil channel is returned after close.

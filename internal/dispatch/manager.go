@@ -67,8 +67,10 @@ func NewManager(cfg ManagerConfig) *Manager {
 	return m
 }
 
-// newID returns a 16-hex-char random session ID.
-func newID() string {
+// NewID returns a 16-hex-char random session ID. Exported for callers
+// that must know the ID before building the session — the journaled
+// create path, where the ID names the log directory.
+func NewID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		// crypto/rand never fails on supported platforms; a zero ID
@@ -92,9 +94,9 @@ func (m *Manager) Create(cfg Config) (string, *Session, error) {
 	if m.cfg.MaxSessions > 0 && len(m.sessions) >= m.cfg.MaxSessions {
 		return "", nil, ErrTooManySessions
 	}
-	id := newID()
+	id := NewID()
 	for m.sessions[id] != nil {
-		id = newID()
+		id = NewID()
 	}
 	m.sessions[id] = &managed{s: s, lastTouch: m.cfg.Now()}
 	return id, s, nil
@@ -270,6 +272,11 @@ func (m *Manager) evictIdle() {
 	}
 	m.mu.Unlock()
 	for _, v := range victims {
+		// A TTL eviction is a deliberate drop: seal the journal (final
+		// checkpoint + finish record) so a restart garbage-collects the
+		// log instead of resurrecting — and re-admitting arrivals for —
+		// a session nobody wanted anymore.
+		v.s.Seal("evicted")
 		v.s.Close()
 		if m.cfg.OnEvict != nil {
 			m.cfg.OnEvict(v.id, v.s)

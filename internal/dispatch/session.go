@@ -131,16 +131,32 @@ type Session struct {
 
 	hub *eventHub
 	seq int64
+
+	// Journal state: events buffered until their record is durable, the
+	// degraded-mode latch, records since the last checkpoint, and the
+	// sealed (finish-record-written) latch.
+	jbuf     []Event
+	jbroken  bool
+	jrecords int
+	sealed   bool
 }
 
 // New creates a session. The zero virtual clock is 0; the first arrival
-// batch advances it.
+// batch advances it. With Config.Journal set, the log's create record
+// is written before New returns.
 func New(cfg Config) (*Session, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
 	}
-	return &Session{cfg: cfg, hub: newEventHub(cfg.History)}, nil
+	s := &Session{cfg: cfg, hub: newEventHub(cfg.History)}
+	if cfg.Journal != nil {
+		s.cfg.Journal = nil
+		if err := s.AttachJournal(cfg.Journal); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
 }
 
 // Algorithm returns the residual policy label.
@@ -149,13 +165,20 @@ func (s *Session) Algorithm() string { return s.cfg.Algorithm }
 // Cores returns the session's core count.
 func (s *Session) Cores() int { return s.cfg.Cores }
 
-// emitLocked stamps and publishes an event; call with mu held.
+// emitLocked stamps an event and publishes it — or, when the session is
+// journaled, buffers it until the covering record is durable (see
+// journalLocked), so no subscriber ever observes a seq that a restart
+// could reuse. Call with mu held.
 func (s *Session) emitLocked(ev Event) {
 	ev.Seq = s.seq
 	s.seq++
 	ev.Clock = s.now
 	if ev.Type != EventComplete {
 		ev.Task = -1
+	}
+	if s.cfg.Journal != nil && !s.jbroken {
+		s.jbuf = append(s.jbuf, ev)
+		return
 	}
 	s.hub.emit(ev)
 }
@@ -242,6 +265,24 @@ func (s *Session) Arrive(ctx context.Context, at float64, batch task.Set) (admit
 		s.shedCount += shed
 		s.emitLocked(Event{Type: EventShed, Count: shed, Reason: "backlog"})
 	}
+	if s.cfg.Journal != nil && (admitted > 0 || shed > 0) {
+		rec := &Record{Kind: RecArrival, ArrivedAt: at, Count: shed}
+		if admitted > 0 {
+			rec.Tasks = make([]TaskState, admitted)
+			for i, lt := range s.tasks[len(s.tasks)-admitted:] {
+				rec.Tasks[i] = TaskState{
+					Release:   lt.Release,
+					Work:      lt.Work,
+					Deadline:  lt.Deadline,
+					Remaining: lt.Remaining,
+					ArrivedAt: lt.ArrivedAt,
+				}
+			}
+		}
+		// The batch is durable before Arrive returns: the admission ack
+		// the caller sends is backed by the log per the fsync policy.
+		s.journalLocked(rec)
+	}
 	debounced := s.cfg.Debounce > 0
 	if debounced && admitted > 0 && !s.timerSet {
 		s.timerSet = true
@@ -304,7 +345,11 @@ func (s *Session) flushLocked(ctx context.Context) error {
 				t1 = a
 			}
 		}
-		s.commitToLocked(t1)
+		prevNow := s.now
+		done, deltas := s.commitToLocked(t1)
+		if s.cfg.Journal != nil && (len(done) > 0 || s.now > prevNow) {
+			s.journalLocked(&Record{Kind: RecCommit, Segments: done, Deltas: deltas})
+		}
 		// Pending tasks whose window closed inside the debounce gap can
 		// no longer run; shed them rather than poison the residual.
 		batch := make([]int, 0, len(s.pending))
@@ -320,6 +365,9 @@ func (s *Session) flushLocked(ctx context.Context) error {
 		shedN := len(expired)
 		if shedN > 0 {
 			s.shedIDsLocked(expired, "expired")
+			if s.cfg.Journal != nil {
+				s.journalLocked(&Record{Kind: RecShed, ShedIDs: expired, Count: shedN, Reason: "expired"})
+			}
 		}
 		if len(batch) == 0 {
 			s.pendingAttempts = 0
@@ -352,6 +400,9 @@ func (s *Session) flushLocked(ctx context.Context) error {
 				// wedges. Previously planned tasks keep the old plan
 				// suffix and still complete.
 				s.shedIDsLocked(batch, "replan-failed")
+				if s.cfg.Journal != nil {
+					s.journalLocked(&Record{Kind: RecShed, ShedIDs: batch, Count: len(batch), Reason: "replan-failed"})
+				}
 				s.pendingAttempts = 0
 				s.mu.Unlock()
 				s.notifyShed(len(batch))
@@ -359,19 +410,27 @@ func (s *Session) flushLocked(ctx context.Context) error {
 			}
 			s.pendingAttempts = attempts + 1
 			s.pending = append(batch, s.pending...)
+			if s.cfg.Journal != nil {
+				s.journalLocked(&Record{Kind: RecError, Reason: err.Error()})
+			}
 			s.mu.Unlock()
 			continue
 		}
 		s.pendingAttempts = 0
 		s.installPlanLocked(plan, ids, len(batch), latency)
+		if s.cfg.Journal != nil {
+			s.journalLocked(&Record{Kind: RecReplan, Count: len(batch)})
+		}
 		s.mu.Unlock()
 	}
 }
 
 // commitToLocked freezes the plan prefix before t1 as committed
 // segments, realizes its energy and completions, and advances the
-// clock. Call with mu held.
-func (s *Session) commitToLocked(t1 float64) {
+// clock. It returns the newly committed segments (time-ordered) and the
+// execution-state deltas of every task they touched, which the journal
+// persists as one RecCommit. Call with mu held.
+func (s *Session) commitToLocked(t1 float64) ([]schedule.Segment, []CommitDelta) {
 	if t1 < s.now {
 		t1 = s.now
 	}
@@ -403,6 +462,8 @@ func (s *Session) commitToLocked(t1 float64) {
 			return 0
 		}
 	})
+	deltaAt := make(map[int]int)
+	var deltas []CommitDelta
 	for _, seg := range done {
 		dur := seg.End - seg.Start
 		s.realized += s.cfg.Model.EnergyForTime(dur, seg.Frequency)
@@ -419,6 +480,17 @@ func (s *Session) commitToLocked(t1 float64) {
 			s.emitLocked(Event{Type: EventComplete, Task: seg.Task, Completed: ct})
 		}
 		lt.Remaining = math.Max(0, lt.Remaining-work)
+		i, ok := deltaAt[seg.Task]
+		if !ok {
+			i = len(deltas)
+			deltaAt[seg.Task] = i
+			deltas = append(deltas, CommitDelta{Task: seg.Task})
+		}
+		deltas[i].Remaining = lt.Remaining
+		if !math.IsNaN(lt.Completed) {
+			deltas[i].Done = true
+			deltas[i].CompletedAt = lt.Completed
+		}
 	}
 	s.committed = append(s.committed, done...)
 	if t1 > s.now {
@@ -428,6 +500,7 @@ func (s *Session) commitToLocked(t1 float64) {
 		s.commits++
 		s.emitLocked(Event{Type: EventCommit, Count: len(done), Energy: s.realized})
 	}
+	return done, deltas
 }
 
 // residualLocked projects the live workload onto a fresh instance for
@@ -507,7 +580,11 @@ func (s *Session) Finish(ctx context.Context) (*FinalReport, error) {
 			horizon = seg.End
 		}
 	}
-	s.commitToLocked(horizon)
+	prevNow := s.now
+	done, deltas := s.commitToLocked(horizon)
+	if s.cfg.Journal != nil && (len(done) > 0 || s.now > prevNow) {
+		s.journalLocked(&Record{Kind: RecCommit, Segments: done, Deltas: deltas})
+	}
 
 	f := &FinalReport{
 		RealizedEnergy: s.realized,
@@ -585,6 +662,14 @@ func (s *Session) Finish(ctx context.Context) (*FinalReport, error) {
 		Ratio:   f.CompetitiveRatio,
 		Replans: f.Replans,
 	})
+	if s.cfg.Journal != nil {
+		if !s.sealed {
+			s.sealed = true
+			s.journalLocked(&Record{Kind: RecFinish, Reason: "finished"})
+		} else {
+			s.publishBufferedLocked()
+		}
+	}
 	s.mu.Unlock()
 	return f, nil
 }

@@ -39,6 +39,14 @@ type Snapshot struct {
 	Seq       int64              `json:"seq"`
 	Tasks     []TaskState        `json:"tasks"`
 	Committed []schedule.Segment `json:"committed"`
+	// Events is the retained event-ring history at snapshot time. It is
+	// populated only by journal checkpoints and replay (internal/journal)
+	// so a restarted server can seed the SSE replay ring and clients
+	// reconnect gaplessly. Session.Snapshot leaves it empty on purpose:
+	// on the router's migration path the destination's stream starts at
+	// the restore point, and replaying history there would re-deliver
+	// events the pump has already renumbered.
+	Events []Event `json:"events,omitempty"`
 }
 
 // Snapshot captures the session's state after draining pending
@@ -49,6 +57,11 @@ func (s *Session) Snapshot(ctx context.Context) (*Snapshot, error) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.snapshotLocked(), nil
+}
+
+// snapshotLocked copies the current state; call with mu held.
+func (s *Session) snapshotLocked() *Snapshot {
 	snap := &Snapshot{
 		Algorithm: s.cfg.Algorithm,
 		Cores:     s.cfg.Cores,
@@ -77,7 +90,7 @@ func (s *Session) Snapshot(ctx context.Context) (*Snapshot, error) {
 		}
 		snap.Tasks[i] = st
 	}
-	return snap, nil
+	return snap
 }
 
 // Restore rebuilds a live session from a snapshot. cfg supplies the
@@ -95,6 +108,12 @@ func Restore(ctx context.Context, snap *Snapshot, cfg Config) (*Session, error) 
 	// A caller-supplied Solve is kept — the serving layer injects its
 	// verified, breaker-gated pipeline here; only a nil Solve re-resolves
 	// against the restored algorithm via the registry.
+	//
+	// A caller-supplied Journal is attached only after the restored state
+	// is in place, so the log's first record is a checkpoint of that
+	// state rather than a create record that would reset a replay fold.
+	jnl := cfg.Journal
+	cfg.Journal = nil
 	s, err := New(cfg)
 	if err != nil {
 		return nil, err
@@ -133,7 +152,19 @@ func Restore(ctx context.Context, snap *Snapshot, cfg Config) (*Session, error) 
 		}
 		s.tasks[i] = lt
 	}
+	if len(snap.Events) > 0 {
+		// Journal recovery: re-seed the replay ring so SSE subscribers
+		// that reconnect after a restart still get their history (and
+		// can dedupe by seq — snap.Seq continues right after it).
+		s.hub.seed(snap.Events)
+	}
 	s.mu.Unlock()
+	if jnl != nil {
+		if err := s.AttachJournal(jnl); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
 	if err := s.Flush(ctx); err != nil {
 		s.Close()
 		return nil, err

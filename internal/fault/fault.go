@@ -42,11 +42,25 @@ const (
 	// IOError fails a request with a transient I/O-style error the client
 	// is expected to retry.
 	IOError Point = "io_error"
+	// JournalFsyncError fails the journal's fsync: the write landed in
+	// the page cache but durability cannot be promised. The session
+	// enters degraded (journal-broken) mode.
+	JournalFsyncError Point = "journal_fsync_error"
+	// JournalShortWrite cuts a journal frame write partway through and
+	// reports the failure; the writer truncates back to the last good
+	// record boundary (torn-tail repair at write time).
+	JournalShortWrite Point = "journal_short_write"
+	// JournalTornTail simulates a crash mid-append under a lazy fsync
+	// policy: half a frame reaches the file, the append reports success,
+	// and every later append fails as if the process had died. Replay
+	// must truncate the torn tail cleanly.
+	JournalTornTail Point = "journal_torn_tail"
 )
 
 // Points lists every known injection point in stable order.
 func Points() []Point {
-	return []Point{SolverPanic, SolverDelay, AllocError, CacheCorrupt, ValidatorReject, IOError}
+	return []Point{SolverPanic, SolverDelay, AllocError, CacheCorrupt, ValidatorReject, IOError,
+		JournalFsyncError, JournalShortWrite, JournalTornTail}
 }
 
 func known(p Point) bool {

@@ -1,0 +1,652 @@
+package journal
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dispatch"
+	"repro/internal/fault"
+	_ "repro/internal/online" // registers ReplanDER
+	"repro/internal/power"
+	"repro/internal/task"
+)
+
+func testModel() power.Model { return power.Unit(3, 0.05) }
+
+func openStore(t *testing.T, opts Options) *Store {
+	t.Helper()
+	st, err := Open(t.TempDir(), opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// driveSession runs a deterministic journaled workload: nbatch arrival
+// batches of two tasks each, synchronous re-plans, optional finish.
+func driveSession(t *testing.T, w *Writer, cp int, nbatch int, finish bool) *dispatch.Session {
+	t.Helper()
+	s, err := dispatch.New(dispatch.Config{
+		Cores:           2,
+		Model:           testModel(),
+		SkipRatio:       true,
+		Journal:         w,
+		CheckpointEvery: cp,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	ctx := context.Background()
+	for i := 0; i < nbatch; i++ {
+		at := float64(i)
+		batch := task.Set{
+			{ID: 0, Release: at, Work: 0.4, Deadline: at + 2.5},
+			{ID: 1, Release: at + 0.1, Work: 0.6, Deadline: at + 3.5},
+		}
+		if _, _, err := s.Arrive(ctx, at, batch); err != nil {
+			t.Fatalf("Arrive(%d): %v", i, err)
+		}
+	}
+	if finish {
+		if _, err := s.Finish(ctx); err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	}
+	return s
+}
+
+func restoreAndFinish(t *testing.T, snap *dispatch.Snapshot) *dispatch.FinalReport {
+	t.Helper()
+	ctx := context.Background()
+	s, err := dispatch.Restore(ctx, snap, dispatch.Config{SkipRatio: true})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer s.Close()
+	f, err := s.Finish(ctx)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return f
+}
+
+func TestRoundTripFinished(t *testing.T) {
+	st := openStore(t, Options{Fsync: FsyncAlways})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatalf("Writer: %v", err)
+	}
+	s := driveSession(t, w, 0, 6, true)
+	defer s.Close()
+	stats := s.Stats()
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	r := st.Replay("s1")
+	if r.Err != nil {
+		t.Fatalf("Replay: %v", r.Err)
+	}
+	if !r.Finished || r.FinishReason != "finished" {
+		t.Fatalf("finished=%v reason=%q, want finished", r.Finished, r.FinishReason)
+	}
+	if r.Snapshot == nil {
+		t.Fatal("nil snapshot")
+	}
+	if r.Snapshot.Commits != stats.Commits || r.Snapshot.Replans != stats.Replans {
+		t.Fatalf("counters diverged: replayed commits=%d replans=%d, live %d/%d",
+			r.Snapshot.Commits, r.Snapshot.Replans, stats.Commits, stats.Replans)
+	}
+	if math.Abs(r.Snapshot.Realized-stats.RealizedEnergy) > 1e-9 {
+		t.Fatalf("realized energy diverged: %g vs %g", r.Snapshot.Realized, stats.RealizedEnergy)
+	}
+	if len(r.Snapshot.Committed) != len(s.Committed()) {
+		t.Fatalf("committed length diverged: %d vs %d", len(r.Snapshot.Committed), len(s.Committed()))
+	}
+}
+
+func TestRecoveryMidRun(t *testing.T) {
+	st := openStore(t, Options{Fsync: FsyncNever})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatalf("Writer: %v", err)
+	}
+	s := driveSession(t, w, -1, 5, false)
+	live := s.Committed()
+	stats := s.Stats()
+	// "Crash": no Finish, no Close ordering niceties.
+	s.Close()
+	w.Close()
+
+	r := st.Replay("s1")
+	if r.Err != nil {
+		t.Fatalf("Replay: %v", r.Err)
+	}
+	if r.Finished {
+		t.Fatal("unfinished session replayed as finished")
+	}
+	if len(r.Snapshot.Committed) != len(live) {
+		t.Fatalf("committed prefix diverged: %d vs %d segments", len(r.Snapshot.Committed), len(live))
+	}
+	for i, seg := range live {
+		if r.Snapshot.Committed[i] != seg {
+			t.Fatalf("segment %d diverged: %+v vs %+v", i, r.Snapshot.Committed[i], seg)
+		}
+	}
+	f := restoreAndFinish(t, r.Snapshot)
+	if len(f.Violations) != 0 {
+		t.Fatalf("restored session finished with violations: %v", f.Violations)
+	}
+	if f.Completed+f.Shed != stats.Tasks {
+		t.Fatalf("recovered run lost tasks: completed %d + shed %d of %d", f.Completed, f.Shed, stats.Tasks)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	t.Run("rotation", func(t *testing.T) {
+		st := openStore(t, Options{Fsync: FsyncNever, SegmentBytes: 512})
+		w, err := st.Writer("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := driveSession(t, w, -1, 8, false) // no auto-checkpoints: segments accumulate
+		defer s.Close()
+		w.Close()
+		dir, _ := st.SessionDir("s1")
+		segs, _ := listSegments(dir)
+		if len(segs) < 2 {
+			t.Fatalf("expected rotation to produce >= 2 segments, have %d", len(segs))
+		}
+		r := st.Replay("s1")
+		if r.Err != nil {
+			t.Fatalf("Replay across segments: %v", r.Err)
+		}
+		if got := len(r.Snapshot.Tasks); got != 16 {
+			t.Fatalf("replayed %d tasks, want 16", got)
+		}
+	})
+	t.Run("compaction", func(t *testing.T) {
+		st := openStore(t, Options{Fsync: FsyncNever, SegmentBytes: 512})
+		w, err := st.Writer("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := driveSession(t, w, 4, 8, false) // checkpoint every 4 records
+		defer s.Close()
+		w.Close()
+		dir, _ := st.SessionDir("s1")
+		segs, _ := listSegments(dir)
+		if len(segs) == 0 || segs[0].index == 1 {
+			t.Fatalf("compaction never deleted the oldest segment (have %d segments from %v)",
+				len(segs), segs[0].index)
+		}
+		r := st.Replay("s1")
+		if r.Err != nil {
+			t.Fatalf("Replay after compaction: %v", r.Err)
+		}
+		if got := len(r.Snapshot.Tasks); got != 16 {
+			t.Fatalf("replayed %d tasks, want 16", got)
+		}
+	})
+}
+
+func TestFsyncPolicies(t *testing.T) {
+	for _, pol := range []Policy{FsyncAlways, FsyncInterval, FsyncNever} {
+		t.Run(pol.String(), func(t *testing.T) {
+			st := openStore(t, Options{Fsync: pol, FsyncInterval: 5 * time.Millisecond})
+			w, err := st.Writer("s1")
+			if err != nil {
+				t.Fatal(err)
+			}
+			s := driveSession(t, w, 0, 3, true)
+			defer s.Close()
+			if pol == FsyncInterval {
+				time.Sleep(25 * time.Millisecond) // let the background sync tick
+			}
+			w.Close()
+			r := st.Replay("s1")
+			if r.Err != nil || !r.Finished {
+				t.Fatalf("policy %s: err=%v finished=%v", pol, r.Err, r.Finished)
+			}
+		})
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+		ok   bool
+	}{
+		{"always", FsyncAlways, true},
+		{"Interval", FsyncInterval, true},
+		{"never", FsyncNever, true},
+		{"", FsyncInterval, true},
+		{"sometimes", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if c.ok != (err == nil) || (c.ok && got != c.want) {
+			t.Fatalf("ParsePolicy(%q) = %v, %v", c.in, got, err)
+		}
+	}
+}
+
+// TestCrashAtEveryRecordBoundary replays every record-aligned prefix of
+// a real session log: each must fold without error into a state that
+// restores and finishes with zero validator findings.
+func TestCrashAtEveryRecordBoundary(t *testing.T) {
+	st := openStore(t, Options{Fsync: FsyncNever, SegmentBytes: 1 << 30})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driveSession(t, w, -1, 5, true)
+	defer s.Close()
+	w.Close()
+	dir, _ := st.SessionDir("s1")
+	segs, _ := listSegments(dir)
+	if len(segs) != 1 {
+		t.Fatalf("want a single segment, have %d", len(segs))
+	}
+	buf, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bounds []int
+	if _, tail, _ := scanFrames(buf, func(p []byte) error { return nil }); tail != tailClean {
+		t.Fatalf("reference log not clean: %v", tail)
+	}
+	for off := 0; off < len(buf); {
+		n := int(uint32(buf[off]) | uint32(buf[off+1])<<8 | uint32(buf[off+2])<<16 | uint32(buf[off+3])<<24)
+		off += frameHeader + n
+		bounds = append(bounds, off)
+	}
+	for i, b := range bounds {
+		prefixDir := filepath.Join(t.TempDir(), "s1")
+		if err := os.MkdirAll(prefixDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(prefixDir, "00000001.wal"), buf[:b], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := ReplayDir("s1", prefixDir)
+		if r.Err != nil {
+			t.Fatalf("prefix %d (records 0..%d): %v", b, i, r.Err)
+		}
+		if r.Truncated {
+			t.Fatalf("prefix %d: boundary-aligned prefix reported torn", b)
+		}
+		if r.Snapshot == nil || r.Finished {
+			continue
+		}
+		f := restoreAndFinish(t, r.Snapshot)
+		if len(f.Violations) != 0 {
+			t.Fatalf("prefix after record %d: violations %v", i, f.Violations)
+		}
+	}
+}
+
+func TestTornTailTruncates(t *testing.T) {
+	st := openStore(t, Options{Fsync: FsyncNever})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driveSession(t, w, -1, 4, false)
+	defer s.Close()
+	w.Close()
+	dir, _ := st.SessionDir("s1")
+	segs, _ := listSegments(dir)
+	path := segs[len(segs)-1].path
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A torn frame: plausible header, half the payload missing.
+	f.Write([]byte{0xff, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, '{', '}'})
+	f.Close()
+
+	r := st.Replay("s1")
+	if r.Err != nil {
+		t.Fatalf("torn tail must fold cleanly, got %v", r.Err)
+	}
+	if !r.Truncated {
+		t.Fatal("torn tail not reported")
+	}
+	fr := restoreAndFinish(t, r.Snapshot)
+	if len(fr.Violations) != 0 {
+		t.Fatalf("violations after torn-tail recovery: %v", fr.Violations)
+	}
+	// Reopening the writer repairs the tail so appends stay aligned.
+	w2, err := st.Writer("s1")
+	if err != nil {
+		t.Fatalf("Writer after torn tail: %v", err)
+	}
+	if err := w2.Append(&dispatch.Record{Kind: dispatch.RecError, Reason: "post-repair"}); err != nil {
+		t.Fatalf("Append after repair: %v", err)
+	}
+	w2.Close()
+	if r := st.Replay("s1"); r.Err != nil || r.Truncated {
+		t.Fatalf("log not clean after repair: err=%v truncated=%v", r.Err, r.Truncated)
+	}
+}
+
+func TestMidLogCorruptionFailsSoft(t *testing.T) {
+	st := openStore(t, Options{Fsync: FsyncNever})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driveSession(t, w, -1, 4, false)
+	defer s.Close()
+	w.Close()
+	dir, _ := st.SessionDir("s1")
+	segs, _ := listSegments(dir)
+	path := segs[0].path
+	buf, _ := os.ReadFile(path)
+	if len(buf) < 64 {
+		t.Fatalf("log too small to corrupt meaningfully (%d bytes)", len(buf))
+	}
+	buf[len(buf)/3] ^= 0x40 // flip a bit well before the tail
+	if err := os.WriteFile(path, buf, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := st.Replay("s1")
+	if r.Err == nil {
+		t.Fatal("mid-log corruption folded cleanly")
+	}
+	// And the writer refuses to continue a corrupt log.
+	if _, err := st.Writer("s1"); err == nil {
+		t.Fatal("Writer opened a corrupt log")
+	}
+}
+
+func TestDiskFaultInjection(t *testing.T) {
+	t.Run("short-write", func(t *testing.T) {
+		inj := fault.New(fault.Plan{Rates: map[fault.Point]float64{fault.JournalShortWrite: 1}, Seed: 1})
+		st := openStore(t, Options{Fsync: FsyncNever, Faults: inj})
+		w, err := st.Writer("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Append(&dispatch.Record{Kind: dispatch.RecCreate, Snapshot: &dispatch.Snapshot{Algorithm: "ReplanDER", Cores: 2, Model: testModel()}})
+		if err == nil {
+			t.Fatal("short write not surfaced")
+		}
+		w.Close()
+		// The write was truncated back: the log is empty but parseable.
+		r := st.Replay("s1")
+		if r.Err != nil || r.Snapshot != nil || r.Truncated {
+			t.Fatalf("short write left residue: err=%v snap=%v torn=%v", r.Err, r.Snapshot != nil, r.Truncated)
+		}
+		if inj.Fired(fault.JournalShortWrite) == 0 {
+			t.Fatal("injector bookkeeping lost the fault")
+		}
+	})
+	t.Run("fsync-error", func(t *testing.T) {
+		inj := fault.New(fault.Plan{Rates: map[fault.Point]float64{fault.JournalFsyncError: 1}, Seed: 1})
+		st := openStore(t, Options{Fsync: FsyncAlways, Faults: inj})
+		w, err := st.Writer("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = w.Append(&dispatch.Record{Kind: dispatch.RecCreate, Snapshot: &dispatch.Snapshot{Algorithm: "ReplanDER", Cores: 2, Model: testModel()}})
+		if err == nil {
+			t.Fatal("fsync failure not surfaced")
+		}
+		w.Close()
+		// The frame reached the page cache; replay still sees it.
+		r := st.Replay("s1")
+		if r.Err != nil || r.Snapshot == nil {
+			t.Fatalf("record lost after fsync error: err=%v", r.Err)
+		}
+	})
+	t.Run("torn-tail", func(t *testing.T) {
+		inj := fault.New(fault.Plan{Rates: map[fault.Point]float64{fault.JournalTornTail: 1}, Seed: 1})
+		st := openStore(t, Options{Fsync: FsyncNever, Faults: inj})
+		w, err := st.Writer("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The torn append reports success — the caller learns on the next one.
+		if err := w.Append(&dispatch.Record{Kind: dispatch.RecCreate, Snapshot: &dispatch.Snapshot{Algorithm: "ReplanDER", Cores: 2, Model: testModel()}}); err != nil {
+			t.Fatalf("torn append must report success, got %v", err)
+		}
+		if err := w.Append(&dispatch.Record{Kind: dispatch.RecError}); err == nil {
+			t.Fatal("writer survived its own crash")
+		}
+		w.Close()
+		r := st.Replay("s1")
+		if r.Err != nil || !r.Truncated {
+			t.Fatalf("torn tail not truncated: err=%v truncated=%v", r.Err, r.Truncated)
+		}
+	})
+	t.Run("session-degrades", func(t *testing.T) {
+		inj := fault.New(fault.Plan{Rates: map[fault.Point]float64{fault.JournalShortWrite: 0.5}, Seed: 7})
+		st := openStore(t, Options{Fsync: FsyncNever, Faults: inj})
+		w, err := st.Writer("s1")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hookErrs int
+		s, err := dispatch.New(dispatch.Config{
+			Cores: 2, Model: testModel(), SkipRatio: true, Journal: w,
+			Hooks: dispatch.Hooks{JournalError: func(error) { hookErrs++ }},
+		})
+		if err != nil {
+			// The very first (create) append may already hit the fault;
+			// that is a legal outcome of attach-at-construction.
+			return
+		}
+		defer s.Close()
+		ctx := context.Background()
+		for i := 0; i < 10; i++ {
+			at := float64(i)
+			_, _, err := s.Arrive(ctx, at, task.Set{{Release: at, Work: 0.3, Deadline: at + 2}})
+			if err != nil {
+				t.Fatalf("Arrive must survive journal faults, got %v", err)
+			}
+		}
+		if !s.JournalBroken() {
+			t.Fatal("session never degraded under a 50% short-write rate")
+		}
+		if hookErrs != 1 {
+			t.Fatalf("JournalError hook fired %d times, want exactly once", hookErrs)
+		}
+		if _, err := s.Finish(ctx); err != nil {
+			t.Fatalf("Finish in degraded mode: %v", err)
+		}
+	})
+}
+
+func TestSealEvicted(t *testing.T) {
+	st := openStore(t, Options{Fsync: FsyncNever})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driveSession(t, w, 0, 3, false)
+	s.Seal("evicted")
+	s.Seal("evicted") // idempotent
+	s.Close()
+	w.Close()
+	r := st.Replay("s1")
+	if r.Err != nil {
+		t.Fatalf("Replay: %v", r.Err)
+	}
+	if !r.Finished || r.FinishReason != "evicted" {
+		t.Fatalf("sealed session not finished/evicted: %v %q", r.Finished, r.FinishReason)
+	}
+}
+
+func TestRestartContinuesLog(t *testing.T) {
+	dir := t.TempDir()
+	st, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driveSession(t, w, -1, 4, false)
+	preStats := s.Stats()
+	s.Close()
+	w.Close()
+	st.Close()
+
+	// "Restart": fresh store over the same dir, replay, restore with a
+	// continuing journal, run more arrivals, finish.
+	st2, err := Open(dir, Options{Fsync: FsyncNever})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	r := st2.Replay("s1")
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Snapshot.Seq == 0 {
+		t.Fatal("recovered snapshot lost the seq high-water mark")
+	}
+	w2, err := st2.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	s2, err := dispatch.Restore(ctx, r.Snapshot, dispatch.Config{SkipRatio: true, Journal: w2})
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	defer s2.Close()
+	if got := s2.Stats(); got.Tasks != preStats.Tasks {
+		t.Fatalf("restore lost tasks: %d vs %d", got.Tasks, preStats.Tasks)
+	}
+	at := preStats.Clock + 1
+	if _, _, err := s2.Arrive(ctx, at, task.Set{{Release: at, Work: 0.5, Deadline: at + 2}}); err != nil {
+		t.Fatalf("Arrive after restore: %v", err)
+	}
+	f, err := s2.Finish(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Violations) != 0 {
+		t.Fatalf("violations after restart continuation: %v", f.Violations)
+	}
+	w2.Close()
+	r2 := st2.Replay("s1")
+	if r2.Err != nil || !r2.Finished {
+		t.Fatalf("final replay: err=%v finished=%v", r2.Err, r2.Finished)
+	}
+	if got, want := len(r2.Snapshot.Tasks), preStats.Tasks+1; got != want {
+		t.Fatalf("final replay has %d tasks, want %d", got, want)
+	}
+}
+
+func TestEventDurabilityOrdering(t *testing.T) {
+	// Events must reach subscribers only after their record is durable:
+	// with a journal that fails every append after the first, the only
+	// events a subscriber may see before the failure event are ones
+	// whose append succeeded.
+	st := openStore(t, Options{Fsync: FsyncNever})
+	w, err := st.Writer("s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := driveSession(t, w, -1, 3, false)
+	defer s.Close()
+	w.Close()
+	r := st.Replay("s1")
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	// Every event in the recovered ring must have seq < recovered Seq,
+	// and the ring must be strictly ordered.
+	last := int64(-1)
+	for _, ev := range r.Snapshot.Events {
+		if ev.Seq <= last {
+			t.Fatalf("event ring not strictly ordered: %d after %d", ev.Seq, last)
+		}
+		last = ev.Seq
+	}
+	if last >= r.Snapshot.Seq {
+		t.Fatalf("ring contains future seq %d >= high-water %d", last, r.Snapshot.Seq)
+	}
+	if last < 0 {
+		t.Fatal("no events recovered")
+	}
+}
+
+// FuzzJournalReplay mutates raw log bytes: replay must never panic, and
+// any cleanly folded, unfinished state must restore and finish with
+// zero validator findings.
+func FuzzJournalReplay(f *testing.F) {
+	st, err := Open(f.TempDir(), Options{Fsync: FsyncNever})
+	if err != nil {
+		f.Fatal(err)
+	}
+	w, err := st.Writer("seed")
+	if err != nil {
+		f.Fatal(err)
+	}
+	s, err := dispatch.New(dispatch.Config{Cores: 2, Model: testModel(), SkipRatio: true, Journal: w, CheckpointEvery: -1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		at := float64(i)
+		if _, _, err := s.Arrive(ctx, at, task.Set{
+			{Release: at, Work: 0.4, Deadline: at + 2},
+			{Release: at, Work: 0.3, Deadline: at + 3},
+		}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	s.Close()
+	w.Close()
+	dir, _ := st.SessionDir("seed")
+	segs, _ := listSegments(dir)
+	seed, err := os.ReadFile(segs[0].path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	st.Close()
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x00, 0x00, 0x00, 0xff, 0xff, 0xff, 0xff, '{'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := filepath.Join(t.TempDir(), "fz")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "00000001.wal"), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		r := ReplayDir("fz", dir) // must not panic, whatever the bytes
+		if r.Err != nil || r.Snapshot == nil || r.Finished {
+			return
+		}
+		snap := r.Snapshot
+		rs, err := dispatch.Restore(context.Background(), snap, dispatch.Config{SkipRatio: true})
+		if err != nil {
+			return // failing soft is legal; producing an invalid schedule is not
+		}
+		defer rs.Close()
+		fr, err := rs.Finish(context.Background())
+		if err != nil {
+			return
+		}
+		if len(fr.Violations) != 0 {
+			t.Fatalf("recovered prefix finished with violations: %v", fr.Violations)
+		}
+	})
+}

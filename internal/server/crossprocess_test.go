@@ -109,9 +109,10 @@ func TestSnapshotRestoreAcrossProcesses(t *testing.T) {
 	if len(events) == 0 {
 		t.Fatal("no events on the restored stream")
 	}
-	// snap.Seq is the next sequence number the session would assign, so
-	// the restored stream starts exactly there — no gap, no repeat.
-	last := snap.Seq - 1
+	// snap.Seq is the next sequence number the session would assign, and
+	// SSE ids are 1-based (Seq+1), so the restored stream's ids start
+	// exactly at snap.Seq+1 — no gap, no repeat.
+	last := snap.Seq
 	for _, ev := range events {
 		seq, err := strconv.ParseInt(ev.id, 10, 64)
 		if err != nil {

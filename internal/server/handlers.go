@@ -661,7 +661,14 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		retryAfter(w, 1)
 		writeError(w, r, http.StatusServiceUnavailable, wire.CodeBreakerOpen, "all circuit breakers open")
 	default:
-		writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+		resp := map[string]any{"status": "ready"}
+		if s.journalStore() != nil {
+			// Journal enabled: surface the startup recovery outcome so
+			// orchestration (and the crash smoke) can assert on it.
+			resp["sessions_recovered"] = s.metrics.sessionsRecovered.Load()
+			resp["sessions_recovery_failed"] = s.metrics.sessionsRecoveryFailed.Load()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	}
 }
 

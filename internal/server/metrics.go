@@ -66,6 +66,12 @@ type Metrics struct {
 	sessionReplanErrors atomic.Int64 // residual re-plans that failed
 	sessionSheds        atomic.Int64 // tasks load-shed by sessions
 
+	// Durability accounting (journal enabled via -data-dir).
+	journalRecords         atomic.Int64 // records appended to session logs
+	journalErrors          atomic.Int64 // appends that failed (session degraded)
+	sessionsRecovered      atomic.Int64 // sessions rebuilt from logs at startup
+	sessionsRecoveryFailed atomic.Int64 // logs that could not be recovered
+
 	// Histograms.
 	latencyMS  *metric.Histogram // end-to-end /v1/schedule handling time
 	queueDepth *metric.Histogram // admission-time queue depth
@@ -174,6 +180,10 @@ func (m *Metrics) Write(w io.Writer) {
 	fmt.Fprintf(w, "schedd_session_replans_total %d\n", m.sessionReplans.Load())
 	fmt.Fprintf(w, "schedd_session_replan_failures_total %d\n", m.sessionReplanErrors.Load())
 	fmt.Fprintf(w, "schedd_session_shed_tasks_total %d\n", m.sessionSheds.Load())
+	fmt.Fprintf(w, "schedd_journal_records_total %d\n", m.journalRecords.Load())
+	fmt.Fprintf(w, "schedd_journal_errors_total %d\n", m.journalErrors.Load())
+	fmt.Fprintf(w, "schedd_sessions_recovered_total %d\n", m.sessionsRecovered.Load())
+	fmt.Fprintf(w, "schedd_sessions_recovery_failed_total %d\n", m.sessionsRecoveryFailed.Load())
 	m.latencyMS.Write(w, "schedd_latency_ms")
 	m.queueDepth.Write(w, "schedd_queue_depth_at_admission")
 	m.replanMS.Write(w, "schedd_session_replan_latency_ms")

@@ -58,6 +58,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -65,6 +66,7 @@ import (
 	"repro/internal/dispatch"
 	"repro/internal/fallback"
 	"repro/internal/fault"
+	"repro/internal/journal"
 )
 
 // Config tunes the service. The zero value is usable: sensible defaults
@@ -123,6 +125,15 @@ type Config struct {
 	// before load-shedding (0 uses dispatch.DefaultBacklog; always capped
 	// by MaxTasks).
 	SessionBacklog int
+
+	// DataDir enables the durable session journal: every session's
+	// lifecycle (create, arrivals, commit points, sheds, checkpoints,
+	// finish) is logged to <DataDir>/sessions/<id> and recovered by
+	// Recover on restart. Empty (the default) disables journaling.
+	DataDir string
+	// Fsync is the journal durability policy when DataDir is set
+	// (journal.FsyncInterval — the zero value — by default).
+	Fsync journal.Policy
 }
 
 // FallbackNone disables the graceful-degradation fallback chain.
@@ -197,6 +208,13 @@ type Server struct {
 	sessions *dispatch.Manager
 	mux      *http.ServeMux
 	draining atomic.Bool
+
+	// journal is the durable session-log store (nil until Recover opens
+	// it; always nil when Config.DataDir is empty). jwriters tracks the
+	// open per-session log writers so delete/evict/drain can close them.
+	journal  *journal.Store
+	jmu      sync.Mutex
+	jwriters map[string]*journal.Writer
 }
 
 // New builds a Server from cfg (zero value OK).
@@ -208,6 +226,7 @@ func New(cfg Config) *Server {
 		cache:    newSolveCache(cfg.CacheSize),
 		breakers: breaker.NewSet(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, nil),
 		mux:      http.NewServeMux(),
+		jwriters: make(map[string]*journal.Writer),
 	}
 	s.metrics = newMetrics(s.gate.depth)
 	s.metrics.breakerStats = s.breakers.Stats
@@ -217,6 +236,9 @@ func New(cfg Config) *Server {
 		TTL:         cfg.SessionTTL,
 		OnEvict: func(id string, _ *dispatch.Session) {
 			s.metrics.sessionsEvicted.Add(1)
+			// The eviction sealed the journal (finish record); the log is
+			// garbage, drop it so a restart cannot resurrect the session.
+			s.dropJournal(id, true)
 			s.cfg.Logger.Printf("msg=%q session=%s", "session evicted (idle TTL)", id)
 		},
 	})
@@ -249,9 +271,14 @@ func New(cfg Config) *Server {
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // Close releases background resources (the session manager's TTL
-// janitor and every open session) without draining. Tests that build a
+// janitor, every open session, and the journal store) without draining.
+// Journaled sessions get no finish record — exactly a crash's on-disk
+// shape, so they are recovered on the next start. Tests that build a
 // Server directly — bypassing ListenAndServe — should defer it.
-func (s *Server) Close() { s.sessions.Close() }
+func (s *Server) Close() {
+	s.sessions.Close()
+	s.closeJournalStore()
+}
 
 // faults returns the fault injector in effect: the per-server one when
 // configured (tests), else the process-wide registry (cmd/schedd's
@@ -330,6 +357,9 @@ func (s *Server) ListenAndServe(ctx context.Context) error {
 	// horizon, then its event stream closes — which releases any SSE
 	// handlers blocked on events, letting hs.Shutdown complete.
 	s.sessions.Drain(shutCtx)
+	// Every drained session wrote its finish record; closing the store
+	// syncs and closes the writers so the logs are GC'd on next start.
+	s.closeJournalStore()
 	if err := hs.Shutdown(shutCtx); err != nil {
 		hs.Close()
 		return fmt.Errorf("server: shutdown: %w", err)

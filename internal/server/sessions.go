@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/check"
 	"repro/internal/dispatch"
+	"repro/internal/journal"
 	"repro/internal/power"
 	"repro/internal/schedule"
 	"repro/internal/server/wire"
@@ -62,6 +63,11 @@ func (s *Server) sessionHooks() dispatch.Hooks {
 			}
 		},
 		Shed: func(n int) { s.metrics.sessionSheds.Add(int64(n)) },
+		// Called with the session mutex held: log only, never call back
+		// into the session. Fires once, when the journal first breaks.
+		JournalError: func(err error) {
+			s.cfg.Logger.Printf("msg=%q err=%q", "session journal degraded", err.Error())
+		},
 	}
 }
 
@@ -118,7 +124,39 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		SkipRatio: req.SkipRatio,
 	}
 	var id string
-	if req.ID != "" {
+	if st := s.journalStore(); st != nil {
+		// Journaled create: the ID names the log directory, so it must
+		// exist before the session (whose first append is the create
+		// record) is built.
+		id = req.ID
+		if id == "" {
+			id = dispatch.NewID()
+		}
+		var jw *journal.Writer
+		jw, err = st.Writer(id)
+		switch {
+		case errors.Is(err, journal.ErrWriterOpen):
+			err = fmt.Errorf("%w: %s", dispatch.ErrDuplicateSession, id)
+		case err != nil:
+			writeError(w, r, http.StatusInternalServerError, wire.CodeInternal, "journal: %v", err)
+			return
+		default:
+			cfg.Journal = s.metered(jw)
+			var sess *dispatch.Session
+			sess, err = dispatch.New(cfg)
+			if err == nil {
+				if err = s.sessions.Adopt(id, sess); err != nil {
+					sess.Close()
+				}
+			}
+			if err != nil {
+				jw.Close()
+				_ = st.Remove(id)
+			} else {
+				s.trackWriter(id, jw)
+			}
+		}
+	} else if req.ID != "" {
 		// Caller-fixed ID (the cluster router's shard placement): build
 		// the session, then adopt it under exactly that ID.
 		var sess *dispatch.Session
@@ -264,6 +302,9 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.sessions.Remove(id)
+	// The Finish above journaled the finish record; the session is fully
+	// accounted, so its log is garbage now.
+	s.dropJournal(id, true)
 	s.metrics.sessionsClosed.Add(1)
 	s.cfg.Logger.Printf("msg=%q session=%s energy=%g ratio=%g replans=%d completed=%d shed=%d",
 		"session finished", id, f.RealizedEnergy, f.CompetitiveRatio, f.Replans, f.Completed, f.Shed)
@@ -412,19 +453,42 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 	if backlog > s.cfg.MaxTasks {
 		backlog = s.cfg.MaxTasks
 	}
-	sess, err := dispatch.Restore(r.Context(), req.Snapshot, dispatch.Config{
+	rcfg := dispatch.Config{
 		Debounce:  time.Duration(req.DebounceMS * float64(time.Millisecond)),
 		Backlog:   backlog,
 		Solve:     solve,
 		Hooks:     s.sessionHooks(),
 		SkipRatio: req.SkipRatio,
-	})
+	}
+	var jw *journal.Writer
+	if st := s.journalStore(); st != nil {
+		var jerr error
+		jw, jerr = st.Writer(req.ID)
+		switch {
+		case errors.Is(jerr, journal.ErrWriterOpen):
+			writeErrorFor(w, r, http.StatusConflict, fmt.Errorf("%w: %s", dispatch.ErrDuplicateSession, req.ID))
+			return
+		case jerr != nil:
+			writeError(w, r, http.StatusInternalServerError, wire.CodeInternal, "journal: %v", jerr)
+			return
+		}
+		// Restore attaches the journal only after the snapshot state is in
+		// place: the log's first record is a checkpoint of that state.
+		rcfg.Journal = s.metered(jw)
+	}
+	sess, err := dispatch.Restore(r.Context(), req.Snapshot, rcfg)
 	if err != nil {
+		if jw != nil {
+			jw.Close()
+		}
 		writeError(w, r, http.StatusUnprocessableEntity, wire.CodeUnprocessable, "restore failed: %v", err)
 		return
 	}
 	if err := s.sessions.Adopt(req.ID, sess); err != nil {
 		sess.Close()
+		if jw != nil {
+			jw.Close()
+		}
 		switch {
 		case errors.Is(err, dispatch.ErrDuplicateSession):
 			writeErrorFor(w, r, http.StatusConflict, err)
@@ -436,6 +500,9 @@ func (s *Server) handleSessionRestore(w http.ResponseWriter, r *http.Request) {
 			writeError(w, r, http.StatusServiceUnavailable, wire.CodeDraining, "server is draining")
 		}
 		return
+	}
+	if jw != nil {
+		s.trackWriter(req.ID, jw)
 	}
 	s.metrics.sessionsOpened.Add(1)
 	s.metrics.sessionsRestored.Add(1)

@@ -24,6 +24,8 @@ func (s *sseWriter) writeEvent(ev dispatch.Event) error {
 		return err
 	}
 	// Event payloads are single-line JSON, so one data: line suffices.
-	_, err = fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq, ev.Type, data)
+	// The id is 1-based (Seq+1) to match the cluster router's renumbered
+	// streams: clients can assert gapless ids 1,2,3,... against either.
+	_, err = fmt.Fprintf(s.w, "id: %d\nevent: %s\ndata: %s\n\n", ev.Seq+1, ev.Type, data)
 	return err
 }
